@@ -1,0 +1,124 @@
+// [TAB-F] Substrate microbenchmarks (google-benchmark).
+//
+// Read/write latency of each SWMR substrate the two-writer construction can
+// run on -- the packed atomic word, the seqlock (8-byte and 64-byte
+// payloads), Simpson's four-slot -- plus the simulated operations of the
+// two-writer register itself over the packed substrate, and the baselines.
+#include <benchmark/benchmark.h>
+
+#include "baselines/mutex_register.hpp"
+#include "baselines/native_atomic.hpp"
+#include "core/two_writer.hpp"
+#include "registers/fourslot.hpp"
+#include "registers/packed_atomic.hpp"
+#include "registers/seqlock.hpp"
+
+namespace {
+
+using namespace bloom87;
+
+struct big64 {
+    std::int64_t lanes[8]{};
+};
+
+template <typename Reg, typename V>
+void substrate_read(benchmark::State& state) {
+    Reg reg(tagged<V>{V{}, false});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.read());
+    }
+}
+
+template <typename Reg, typename V>
+void substrate_write(benchmark::State& state) {
+    Reg reg(tagged<V>{V{}, false});
+    V v{};
+    bool t = false;
+    for (auto _ : state) {
+        reg.write(tagged<V>{v, t});
+        t = !t;
+        benchmark::DoNotOptimize(reg);
+    }
+}
+
+void two_writer_write(benchmark::State& state) {
+    two_writer_register<std::int32_t, packed_atomic_register<std::int32_t>> reg(0);
+    std::int32_t v = 0;
+    for (auto _ : state) {
+        reg.writer0().write(v++);
+    }
+}
+
+void two_writer_read(benchmark::State& state) {
+    two_writer_register<std::int32_t, packed_atomic_register<std::int32_t>> reg(7);
+    auto rd = reg.make_reader(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rd.read());
+    }
+}
+
+void two_writer_read_cached(benchmark::State& state) {
+    two_writer_register<std::int32_t, packed_atomic_register<std::int32_t>> reg(7);
+    reg.writer0().write(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.writer0().read_cached());
+    }
+}
+
+void mutex_read(benchmark::State& state) {
+    mutex_register<std::int32_t> reg(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.read(1));
+    }
+}
+
+void mutex_write(benchmark::State& state) {
+    mutex_register<std::int32_t> reg(7);
+    std::int32_t v = 0;
+    for (auto _ : state) {
+        reg.write(v++, 0);
+    }
+}
+
+void native_read(benchmark::State& state) {
+    native_atomic_register<std::int32_t> reg(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.read(1));
+    }
+}
+
+void native_write(benchmark::State& state) {
+    native_atomic_register<std::int32_t> reg(7);
+    std::int32_t v = 0;
+    for (auto _ : state) {
+        reg.write(v++, 0);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(substrate_read<bloom87::packed_atomic_register<std::int32_t>, std::int32_t>)
+    ->Name("substrate_read/packed_atomic");
+BENCHMARK(substrate_write<bloom87::packed_atomic_register<std::int32_t>, std::int32_t>)
+    ->Name("substrate_write/packed_atomic");
+BENCHMARK(substrate_read<bloom87::seqlock_register<std::int64_t>, std::int64_t>)
+    ->Name("substrate_read/seqlock_8B");
+BENCHMARK(substrate_write<bloom87::seqlock_register<std::int64_t>, std::int64_t>)
+    ->Name("substrate_write/seqlock_8B");
+BENCHMARK(substrate_read<bloom87::seqlock_register<big64>, big64>)
+    ->Name("substrate_read/seqlock_64B");
+BENCHMARK(substrate_write<bloom87::seqlock_register<big64>, big64>)
+    ->Name("substrate_write/seqlock_64B");
+BENCHMARK(substrate_read<bloom87::four_slot_register<std::int64_t>, std::int64_t>)
+    ->Name("substrate_read/four_slot_8B");
+BENCHMARK(substrate_write<bloom87::four_slot_register<std::int64_t>, std::int64_t>)
+    ->Name("substrate_write/four_slot_8B");
+BENCHMARK(two_writer_write)->Name("simulated/two_writer_write");
+BENCHMARK(two_writer_read)->Name("simulated/two_writer_read");
+BENCHMARK(two_writer_read_cached)->Name("simulated/two_writer_read_cached");
+BENCHMARK(native_read)->Name("baseline/native_atomic_read");
+BENCHMARK(native_write)->Name("baseline/native_atomic_write");
+BENCHMARK(mutex_read)->Name("baseline/mutex_read");
+BENCHMARK(mutex_write)->Name("baseline/mutex_write");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// fuzz_protocols: long-running randomized torture for the whole stack.
+//
+// Each round draws a random configuration (workload mix, pacing, reader
+// count, crash pattern, substrate), runs a recorded multi-threaded
+// execution, and verifies it with the constructive linearizer and the
+// polynomial checker. Any disagreement or violation stops the run with the
+// serialized gamma so it can be replayed through check_history.
+//
+// Usage: fuzz_protocols [rounds] [base_seed]     (defaults: 50, 1)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/two_writer.hpp"
+#include "histories/event_log.hpp"
+#include "histories/serialize.hpp"
+#include "histories/workload.hpp"
+#include "linearizability/bloom_linearizer.hpp"
+#include "linearizability/fast_register.hpp"
+#include "registers/recording.hpp"
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+
+using namespace bloom87;
+
+namespace {
+
+struct round_config {
+    std::size_t readers;
+    std::uint32_t writes_per_writer;
+    int reads_per_reader;
+    std::uint64_t writer_stall_num;   // stall probability numerator /32
+    std::uint64_t reader_stall_num;
+    bool inject_crashes;
+    bool use_cached_reads;
+};
+
+round_config draw_config(rng& gen) {
+    round_config c;
+    c.readers = 1 + gen.below(4);
+    c.writes_per_writer = 200 + static_cast<std::uint32_t>(gen.below(1800));
+    c.reads_per_reader = 200 + static_cast<int>(gen.below(1800));
+    c.writer_stall_num = gen.below(6);
+    c.reader_stall_num = gen.below(8);
+    c.inject_crashes = gen.chance(1, 3);
+    c.use_cached_reads = gen.chance(1, 3);
+    return c;
+}
+
+bool run_round(std::uint64_t seed, const round_config& cfg) {
+    const std::size_t expected_events =
+        2 * cfg.writes_per_writer * 4 +
+        cfg.readers * static_cast<std::size_t>(cfg.reads_per_reader) * 5 +
+        2 * cfg.writes_per_writer * 2;  // headroom for cached writer reads
+    event_log log(expected_events * 2 + 1024);
+    two_writer_register<value_t, recording_register> reg(0, &log);
+    start_gate gate;
+
+    std::vector<std::thread> pool;
+    for (int w = 0; w < 2; ++w) {
+        pool.emplace_back([&, w] {
+            rng pace(seed * 7 + static_cast<std::uint64_t>(w));
+            auto& wr = w == 0 ? reg.writer0() : reg.writer1();
+            gate.wait();
+            for (std::uint32_t i = 0; i < cfg.writes_per_writer; ++i) {
+                const value_t v = unique_value(static_cast<processor_id>(w), i);
+                if (cfg.inject_crashes && pace.chance(1, 40)) {
+                    wr.write_crashed(
+                        v, static_cast<crash_point>(pace.below(3)));
+                    continue;
+                }
+                const bool stall = pace.chance(cfg.writer_stall_num, 32);
+                wr.write_paced(v, [&] {
+                    if (stall) {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(20));
+                    }
+                });
+                if (cfg.use_cached_reads && pace.chance(1, 10)) {
+                    (void)wr.read_cached();
+                }
+            }
+        });
+    }
+    for (std::size_t r = 0; r < cfg.readers; ++r) {
+        pool.emplace_back([&, r] {
+            rng pace(seed * 13 + static_cast<std::uint64_t>(r) + 100);
+            auto rd = reg.make_reader(static_cast<processor_id>(2 + r));
+            gate.wait();
+            for (int i = 0; i < cfg.reads_per_reader; ++i) {
+                const bool stall = pace.chance(cfg.reader_stall_num, 32);
+                (void)rd.read_paced([&] {
+                    if (stall) {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(25));
+                    }
+                });
+            }
+        });
+    }
+    gate.open();
+    for (auto& t : pool) t.join();
+
+    if (log.overflowed()) {
+        std::fprintf(stderr, "seed %llu: LOG OVERFLOW (harness bug)\n",
+                     static_cast<unsigned long long>(seed));
+        return false;
+    }
+    const std::vector<event> gamma = log.snapshot();
+    parse_result parsed = parse_history(gamma, 0);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "seed %llu: MALFORMED GAMMA: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     parsed.error->message.c_str());
+        write_gamma(std::cerr, gamma, 0);
+        return false;
+    }
+
+    const auto fast = check_fast(parsed.hist.ops, 0);
+    const bool fast_ok = fast.ok() && fast.linearizable;
+
+    bool constructive_ok = true;
+    if (!cfg.use_cached_reads) {
+        // The constructive linearizer expects the canonical 3-read shape.
+        const bloom_result res = bloom_linearize(parsed.hist);
+        constructive_ok = res.ok() && res.atomic;
+        if (!constructive_ok) {
+            std::fprintf(stderr, "seed %llu: CONSTRUCTIVE FAILED: %s\n",
+                         static_cast<unsigned long long>(seed),
+                         res.ok() ? res.diagnosis.c_str()
+                                  : res.defect->c_str());
+        }
+    }
+    if (!fast_ok) {
+        std::fprintf(stderr, "seed %llu: FAST CHECKER FAILED: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     fast.ok() ? fast.diagnosis.c_str() : fast.defect->c_str());
+    }
+    if (!fast_ok || !constructive_ok) {
+        write_gamma(std::cerr, gamma, 0);
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int rounds = argc > 1 ? std::atoi(argv[1]) : 50;
+    const std::uint64_t base_seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+    rng meta(base_seed);
+    for (int round = 0; round < rounds; ++round) {
+        const std::uint64_t seed = base_seed * 100000 + static_cast<std::uint64_t>(round);
+        const round_config cfg = draw_config(meta);
+        if (!run_round(seed, cfg)) {
+            std::fprintf(stderr, "FUZZING FOUND A FAILURE at round %d\n", round);
+            return 1;
+        }
+        if ((round + 1) % 10 == 0) {
+            std::printf("fuzz: %d/%d rounds clean\n", round + 1, rounds);
+            std::fflush(stdout);
+        }
+    }
+    std::printf("fuzz: all %d rounds clean (atomic everywhere)\n", rounds);
+    return 0;
+}

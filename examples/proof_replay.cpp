@@ -1,0 +1,116 @@
+// proof_replay: watch the paper's proof run on a live execution.
+//
+// Records a real multi-threaded execution of the two-writer register
+// through the recording substrate, then runs the constructive linearizer
+// (Section 7 of the paper, as code) and prints what the proof "saw":
+// potency classification, prefinishers, read classes, and the final
+// linearization order with every operation's linearization point.
+#include <cstdio>
+#include <thread>
+
+#include "core/two_writer.hpp"
+#include "histories/event_log.hpp"
+#include "histories/workload.hpp"
+#include "linearizability/bloom_linearizer.hpp"
+#include "registers/recording.hpp"
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+
+using namespace bloom87;
+
+int main() {
+    event_log log(1 << 12);
+    two_writer_register<value_t, recording_register> reg(0, &log);
+    start_gate gate;
+
+    // Two paced writers (so impotent writes actually occur) and one slow
+    // reader, a handful of operations each -- small enough to print whole.
+    auto writer_loop = [&](int index) {
+        rng pace(41 + static_cast<std::uint64_t>(index));
+        auto& wr = index == 0 ? reg.writer0() : reg.writer1();
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            wr.write_paced(unique_value(static_cast<processor_id>(index), i), [&] {
+                if (pace.chance(1, 2)) {
+                    std::this_thread::sleep_for(std::chrono::microseconds(60));
+                }
+            });
+        }
+    };
+    std::thread t0([&] { gate.wait(); writer_loop(0); });
+    std::thread t1([&] { gate.wait(); writer_loop(1); });
+    std::thread t2([&] {
+        gate.wait();
+        auto rd = reg.make_reader(2);
+        rng pace(99);
+        for (int i = 0; i < 8; ++i) {
+            (void)rd.read_paced([&] {
+                if (pace.chance(1, 2)) {
+                    std::this_thread::sleep_for(std::chrono::microseconds(80));
+                }
+            });
+        }
+    });
+    gate.open();
+    t0.join();
+    t1.join();
+    t2.join();
+
+    parse_result parsed = parse_history(log.snapshot(), 0);
+    if (!parsed.ok()) {
+        std::printf("recording malformed: %s\n", parsed.error->message.c_str());
+        return 1;
+    }
+    const history& h = parsed.hist;
+    std::printf("recorded %zu gamma events, %zu simulated operations\n\n",
+                h.gamma.size(), h.ops.size());
+
+    const bloom_result res = bloom_linearize(h);
+    if (!res.ok()) {
+        std::printf("gamma structurally broken: %s\n", res.defect->c_str());
+        return 1;
+    }
+
+    std::printf("--- write classification (paper, Section 7) ---\n");
+    for (const write_analysis& wa : res.writes) {
+        std::printf("  Wr%d op %u: %s", wa.writer, wa.id.op,
+                    wa.potent ? "POTENT" : "impotent");
+        if (wa.has_prefinisher) {
+            std::printf("  (prefinished by Wr%d op %u)",
+                        wa.prefinisher.processor, wa.prefinisher.op);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n--- read classification ---\n");
+    for (const read_analysis& ra : res.reads) {
+        const char* cls = ra.cls == read_class::of_potent    ? "of a potent write"
+                          : ra.cls == read_class::of_impotent ? "of an IMPOTENT write"
+                                                              : "of the initial value";
+        std::printf("  Rd proc %d op %u: read %s", ra.id.processor, ra.id.op, cls);
+        if (ra.cls != read_class::of_initial) {
+            std::printf(" (Wr%d op %u)", ra.source.processor, ra.source.op);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n--- constructed linearization (the *-action order) ---\n");
+    if (!res.atomic) {
+        std::printf("NOT ATOMIC: %s\n", res.diagnosis.c_str());
+        return 2;
+    }
+    for (const star_action& sa : res.linearization) {
+        const operation* op = h.find(sa.id);
+        if (op->kind == op_kind::write) {
+            std::printf("  Wr%d writes %lld", sa.id.processor,
+                        static_cast<long long>(op->value));
+        } else {
+            std::printf("  proc %d reads %lld", sa.id.processor,
+                        static_cast<long long>(op->value));
+        }
+        std::printf("   [*-action after gamma position %llu]\n",
+                    static_cast<unsigned long long>(sa.anchor));
+    }
+    std::printf("\nverdict: ATOMIC -- the proof terminated with a legal\n"
+                "sequential order, exactly as Section 7 promises.\n");
+    return 0;
+}

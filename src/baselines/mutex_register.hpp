@@ -1,0 +1,80 @@
+// bloom87: mutual-exclusion MRMW register baseline.
+//
+// The paper's Section 4 explicitly rejects this design: "a protocol could be
+// cobbled together from a fair mutual exclusion protocol. This would require
+// processes to wait for each other... one processor could crash while
+// reading the register and block all further access." We implement it
+// anyway, as the baseline the benches contrast against: bench_stall_tolerance
+// shows reads blocking behind a stalled lock holder, while Bloom's register
+// keeps serving.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "histories/event_log.hpp"
+#include "histories/events.hpp"
+
+namespace bloom87 {
+
+/// Multi-reader multi-writer atomic register via a mutex. All operations
+/// are blocking; none are wait-free.
+template <typename T>
+class mutex_register {
+public:
+    explicit mutex_register(T initial, event_log* log = nullptr)
+        : value_(initial), log_(log) {}
+
+    [[nodiscard]] T read(processor_id proc = 0) {
+        const op_index op = next_op(proc);
+        log_event(event_kind::sim_invoke_read, proc, op, 0);
+        T out;
+        {
+            std::scoped_lock lock(mutex_);
+            out = value_;
+        }
+        log_event(event_kind::sim_respond_read, proc, op,
+                  static_cast<value_t>(out));
+        return out;
+    }
+
+    void write(T v, processor_id proc = 0) {
+        const op_index op = next_op(proc);
+        log_event(event_kind::sim_invoke_write, proc, op, static_cast<value_t>(v));
+        {
+            std::scoped_lock lock(mutex_);
+            value_ = v;
+        }
+        log_event(event_kind::sim_respond_write, proc, op, 0);
+    }
+
+    /// Hands the caller the lock, simulating a processor stalled (or
+    /// crashed) inside its critical section. Used by bench_stall_tolerance.
+    [[nodiscard]] std::unique_lock<std::mutex> stall() {
+        return std::unique_lock<std::mutex>(mutex_);
+    }
+
+private:
+    op_index next_op(processor_id proc) {
+        std::scoped_lock lock(op_mutex_);
+        return op_counters_[proc]++;
+    }
+
+    void log_event(event_kind kind, processor_id proc, op_index op, value_t v) {
+        if (log_ == nullptr) return;
+        event e;
+        e.kind = kind;
+        e.processor = proc;
+        e.op = op;
+        e.value = v;
+        log_->append(e);
+    }
+
+    std::mutex mutex_;
+    T value_;
+    event_log* log_;
+    std::mutex op_mutex_;
+    std::map<processor_id, op_index> op_counters_;
+};
+
+}  // namespace bloom87

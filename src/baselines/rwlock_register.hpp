@@ -1,0 +1,81 @@
+// bloom87: readers-writers lock baseline (the paper's [CHP] reference).
+//
+// Courtois, Heymans & Parnas's readers-writers problem is the classic
+// mutual-exclusion approach to the same resource-sharing shape: many
+// readers OR one writer. Modern C++ packages it as std::shared_mutex. Like
+// the plain mutex baseline it provides atomicity by BLOCKING -- readers
+// scale better than a plain mutex when writes are rare, but a stalled
+// writer still wedges every reader, which is exactly the failure mode the
+// paper's wait-free protocol exists to avoid (Section 4).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "histories/event_log.hpp"
+#include "histories/events.hpp"
+
+namespace bloom87 {
+
+/// MRMW atomic register via a readers-writers lock. Reads share the lock;
+/// writes take it exclusively. Blocking; not wait-free.
+template <typename T>
+class rwlock_register {
+public:
+    explicit rwlock_register(T initial, event_log* log = nullptr)
+        : value_(initial), log_(log) {}
+
+    [[nodiscard]] T read(processor_id proc = 0) {
+        const op_index op = next_op(proc);
+        log_event(event_kind::sim_invoke_read, proc, op, 0);
+        T out;
+        {
+            std::shared_lock lock(mutex_);
+            out = value_;
+        }
+        log_event(event_kind::sim_respond_read, proc, op,
+                  static_cast<value_t>(out));
+        return out;
+    }
+
+    void write(T v, processor_id proc = 0) {
+        const op_index op = next_op(proc);
+        log_event(event_kind::sim_invoke_write, proc, op, static_cast<value_t>(v));
+        {
+            std::unique_lock lock(mutex_);
+            value_ = v;
+        }
+        log_event(event_kind::sim_respond_write, proc, op, 0);
+    }
+
+    /// Simulates a writer stalled (or crashed) inside its critical section;
+    /// used by bench_stall_tolerance.
+    [[nodiscard]] std::unique_lock<std::shared_mutex> stall_writer() {
+        return std::unique_lock<std::shared_mutex>(mutex_);
+    }
+
+private:
+    op_index next_op(processor_id proc) {
+        std::scoped_lock lock(op_mutex_);
+        return op_counters_[proc]++;
+    }
+
+    void log_event(event_kind kind, processor_id proc, op_index op, value_t v) {
+        if (log_ == nullptr) return;
+        event e;
+        e.kind = kind;
+        e.processor = proc;
+        e.op = op;
+        e.value = v;
+        log_->append(e);
+    }
+
+    std::shared_mutex mutex_;
+    T value_;
+    event_log* log_;
+    std::mutex op_mutex_;
+    std::map<processor_id, op_index> op_counters_;
+};
+
+}  // namespace bloom87

@@ -1,0 +1,167 @@
+// bloom87: the BROKEN four-writer tournament register (paper, Section 8).
+//
+// "Consider N = 2^k writers arranged in a tournament... However, this does
+// not work." This file implements the natural-but-wrong extension so the
+// repository can demonstrate the failure: four writers over two real
+// TWO-writer registers, running Bloom's tag-bit protocol one level up.
+// Writers Wr00, Wr01 share real register 0; Wr10, Wr11 share register 1.
+// A writer in pair p reads the other pair's tag t' and writes (v, p (+) t').
+//
+// Per the paper's footnote 6, the counterexample does not depend on how the
+// two-writer registers are built -- "it works for any protocol, or even
+// hardware atomic two-writer registers" -- so we use hardware MRMW atomic
+// words as the strongest possible substrate. The register is STILL not
+// atomic: an overwritten value can reappear (Figure 5), which
+// bench_fig5_counterexample replays deterministically and the
+// linearizability checker flags.
+//
+// The split-phase writer API (begin_write / finish_write) exists precisely
+// to drive the Figure 5 schedule: Wr00 performs its real reads, "goes to
+// sleep", and finishes its real write after Wr11 and Wr01 have written.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "core/protocol.hpp"
+#include "histories/event_log.hpp"
+#include "histories/events.hpp"
+#include "registers/tagged.hpp"
+#include "util/bits.hpp"
+#include "util/sync.hpp"
+
+namespace bloom87 {
+
+/// Four-writer n-reader register via the (incorrect) tournament scheme.
+/// Writer ids: 0 = Wr00, 1 = Wr01 (pair 0); 2 = Wr10, 3 = Wr11 (pair 1).
+/// Reader processor ids start at 4 by convention.
+template <word_packable T>
+class tournament_four_writer {
+public:
+    class writer;
+    class reader;
+
+    explicit tournament_four_writer(T initial, event_log* log = nullptr) noexcept
+        : regs_{pack_tagged(initial, false), pack_tagged(initial, false)},
+          log_(log) {}
+
+    tournament_four_writer(const tournament_four_writer&) = delete;
+    tournament_four_writer& operator=(const tournament_four_writer&) = delete;
+
+    /// Write port for writer `id` in [0, 4). One thread per port.
+    [[nodiscard]] writer make_writer(int id) noexcept { return writer{*this, id}; }
+
+    /// Read port; `processor` names the reader in logged histories.
+    [[nodiscard]] reader make_reader(processor_id processor = 4) noexcept {
+        return reader{*this, processor};
+    }
+
+    /// Current contents of real register i (for the Figure 5 table).
+    [[nodiscard]] tagged<T> real_contents(int i) const noexcept {
+        const std::uint64_t w = regs_[i].load(std::memory_order_seq_cst);
+        return {unpack_value<T>(w), unpack_tag(w)};
+    }
+
+    class writer {
+    public:
+        /// Full write: real read of the other pair's register, then the
+        /// real write -- the two-writer protocol run at tournament level.
+        void write(T v) {
+            begin_write(v);
+            finish_write();
+        }
+
+        /// Phase 1: the real read + tag computation ("(reads)" in Fig. 5).
+        void begin_write(T v) {
+            assert(!armed_ && "begin_write called twice without finish_write");
+            const op_index op = next_op_++;
+            log(event_kind::sim_invoke_write, op, static_cast<value_t>(v));
+            const std::uint64_t other =
+                owner_->regs_[1 - pair_].load(std::memory_order_seq_cst);
+            pending_ = pack_tagged(v, writer_tag_choice(pair_, unpack_tag(other)));
+            pending_op_ = op;
+            armed_ = true;
+        }
+
+        /// Phase 2: the single real write, possibly long after phase 1.
+        void finish_write() {
+            assert(armed_ && "finish_write without begin_write");
+            owner_->regs_[pair_].store(pending_, std::memory_order_seq_cst);
+            log(event_kind::sim_respond_write, pending_op_, 0);
+            armed_ = false;
+        }
+
+        [[nodiscard]] int id() const noexcept { return id_; }
+        [[nodiscard]] int pair() const noexcept { return pair_; }
+
+    private:
+        friend class tournament_four_writer;
+        writer(tournament_four_writer& owner, int id) noexcept
+            : owner_(&owner), id_(id), pair_(id >> 1) {
+            assert(id >= 0 && id < 4);
+        }
+
+        void log(event_kind kind, op_index op, value_t v) {
+            if (owner_->log_ == nullptr) return;
+            event e;
+            e.kind = kind;
+            e.processor = static_cast<processor_id>(id_);
+            e.op = op;
+            e.value = v;
+            owner_->log_->append(e);
+        }
+
+        tournament_four_writer* owner_;
+        int id_;
+        int pair_;
+        op_index next_op_{0};
+        std::uint64_t pending_{0};
+        op_index pending_op_{0};
+        bool armed_{false};
+    };
+
+    class reader {
+    public:
+        [[nodiscard]] T read() {
+            const op_index op = next_op_++;
+            log(event_kind::sim_invoke_read, op, 0);
+            const std::uint64_t w0 = owner_->regs_[0].load(std::memory_order_seq_cst);
+            const std::uint64_t w1 = owner_->regs_[1].load(std::memory_order_seq_cst);
+            const int pick = reader_pick(unpack_tag(w0), unpack_tag(w1));
+            const std::uint64_t w2 =
+                owner_->regs_[pick].load(std::memory_order_seq_cst);
+            const T result = unpack_value<T>(w2);
+            log(event_kind::sim_respond_read, op, static_cast<value_t>(result));
+            return result;
+        }
+
+    private:
+        friend class tournament_four_writer;
+        reader(tournament_four_writer& owner, processor_id processor) noexcept
+            : owner_(&owner), processor_(processor) {}
+
+        void log(event_kind kind, op_index op, value_t v) {
+            if (owner_->log_ == nullptr) return;
+            event e;
+            e.kind = kind;
+            e.processor = processor_;
+            e.op = op;
+            e.value = v;
+            owner_->log_->append(e);
+        }
+
+        tournament_four_writer* owner_;
+        processor_id processor_;
+        op_index next_op_{0};
+    };
+
+private:
+    // Hardware MRMW atomic words standing in for the two "real two-writer
+    // registers" (strongest substrate; the scheme fails regardless).
+    std::array<std::atomic<std::uint64_t>, 2> regs_;
+    event_log* log_;
+};
+
+}  // namespace bloom87

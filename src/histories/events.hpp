@@ -1,0 +1,95 @@
+// bloom87: the event model.
+//
+// The correctness proof of Bloom's protocol (paper, Sections 6-7) works over
+// a sequence gamma containing, in one total order:
+//
+//   * invocations and responses of *simulated* reads and writes
+//     (the external schedule alpha), and
+//   * the linearization points ("*-actions") of every *real* register access
+//     performed by the protocol underneath.
+//
+// This header defines that vocabulary as data. A recorded execution is a
+// flat sequence of `event` values whose index in the log is its position in
+// gamma; the constructive linearizer (src/linearizability/) re-runs the
+// paper's Steps 1-4 on exactly this structure.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace bloom87 {
+
+/// Identifies a processor (reader or writer automaton) of the simulated
+/// register. Writers are 0 and 1 by convention; readers are >= 2.
+/// In baselines with more writers (the four-writer tournament), writer ids
+/// extend past 1.
+using processor_id = std::int16_t;
+
+/// Per-processor operation counter; (processor, op) uniquely names one
+/// simulated operation.
+using op_index = std::uint32_t;
+
+/// Values flow through recorded histories as 64-bit integers. The protocol
+/// templates accept arbitrary types; recorded/checked executions instantiate
+/// them at std::int64_t so histories stay uniform and serializable.
+using value_t = std::int64_t;
+
+/// Log position; doubles as the gamma-position of the event.
+using event_pos = std::uint64_t;
+
+/// Sentinel: "no event" / "observed the initial value".
+inline constexpr event_pos no_event = std::numeric_limits<event_pos>::max();
+
+/// The kinds of event that can appear in gamma.
+enum class event_kind : std::uint8_t {
+    sim_invoke_read,    ///< R_start: a simulated read request (paper Fig. 1)
+    sim_respond_read,   ///< R_finish(v): its acknowledgment carrying v
+    sim_invoke_write,   ///< W_start(v): a simulated write request
+    sim_respond_write,  ///< W_finish: its acknowledgment
+    real_read,          ///< *-action of a real-register read
+    real_write,         ///< *-action of a real-register write
+};
+
+[[nodiscard]] constexpr bool is_real(event_kind k) noexcept {
+    return k == event_kind::real_read || k == event_kind::real_write;
+}
+[[nodiscard]] constexpr bool is_invocation(event_kind k) noexcept {
+    return k == event_kind::sim_invoke_read || k == event_kind::sim_invoke_write;
+}
+[[nodiscard]] constexpr bool is_response(event_kind k) noexcept {
+    return k == event_kind::sim_respond_read || k == event_kind::sim_respond_write;
+}
+
+/// One entry of gamma.
+///
+/// For real accesses, `reg` names the real register, `tag`/`value` the tagged
+/// pair read or written, and -- for reads -- `observed_write` is the gamma
+/// position of the real write whose value was returned (`no_event` for the
+/// register's initial value). The recording substrate guarantees
+/// `observed_write` is exact, which is what lets us replay the paper's proof
+/// rather than guess linearization points.
+struct event {
+    event_kind kind{event_kind::real_read};
+    std::uint8_t reg{0};            ///< real events: register index (0 or 1)
+    processor_id processor{0};      ///< acting processor
+    op_index op{0};                 ///< which simulated op this belongs to
+    bool tag{false};                ///< real events: tag bit
+    value_t value{0};               ///< payload (sim value or real value)
+    event_pos observed_write{no_event};  ///< real_read: source write position
+};
+
+/// Uniquely names a simulated operation across the whole history.
+struct op_id {
+    processor_id processor{0};
+    op_index op{0};
+
+    friend constexpr bool operator==(op_id, op_id) noexcept = default;
+    friend constexpr auto operator<=>(op_id, op_id) noexcept = default;
+};
+
+/// Human-readable rendering, used by serialization and failure diagnostics.
+[[nodiscard]] std::string to_string(event_kind k);
+[[nodiscard]] std::string to_string(const event& e);
+
+}  // namespace bloom87

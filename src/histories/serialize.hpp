@@ -1,0 +1,46 @@
+// bloom87: text serialization of gamma sequences.
+//
+// A recorded execution can be written to a line-oriented text format and
+// read back, so histories can be archived, shipped in bug reports, and fed
+// to the offline checker tool (examples/check_history). Format, one event
+// per line, `#` comments and blank lines ignored:
+//
+//   gamma v1 initial=<v0>
+//   W_start    proc=<p> op=<k> value=<v>
+//   real_read  proc=<p> op=<k> reg=<r> tag=<0|1> value=<v> observed=<pos|initial>
+//   real_write proc=<p> op=<k> reg=<r> tag=<0|1> value=<v>
+//   R_finish   proc=<p> op=<k> value=<v>
+//   ...
+//
+// The position of a line (among event lines) is its gamma position, so
+// `observed` references are stable under round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "histories/events.hpp"
+
+namespace bloom87 {
+
+/// Writes the header plus one line per event.
+void write_gamma(std::ostream& os, const std::vector<event>& gamma,
+                 value_t initial);
+
+/// Parse result: the events and the initial value, or a message with the
+/// offending line number.
+struct gamma_parse_result {
+    std::vector<event> gamma;
+    value_t initial{0};
+    std::optional<std::string> error;
+
+    [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Reads the format produced by write_gamma. Tolerates comments, blank
+/// lines, and arbitrary field order after the event name.
+[[nodiscard]] gamma_parse_result read_gamma(std::istream& is);
+
+}  // namespace bloom87

@@ -1,0 +1,98 @@
+#include "histories/stats.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace bloom87 {
+
+history_stats compute_stats(const history& h) {
+    history_stats out;
+    out.operations = h.ops.size();
+
+    // Interval endpoints for a sweep. Pending operations extend to just
+    // past the last recorded event.
+    struct endpoint {
+        event_pos at;
+        bool is_start;
+    };
+    std::vector<endpoint> points;
+    points.reserve(h.ops.size() * 2);
+    const event_pos horizon = h.gamma.size();
+    std::set<processor_id> procs;
+
+    for (const operation& op : h.ops) {
+        out.writes += op.kind == op_kind::write;
+        out.reads += op.kind == op_kind::read;
+        out.pending += !op.complete();
+        procs.insert(op.id.processor);
+        ++out.ops_per_processor[op.id.processor];
+        points.push_back({op.invoked, true});
+        points.push_back({op.complete() ? op.responded : horizon, false});
+    }
+    out.processors = procs.size();
+
+    // Sweep for max concurrency. Endpoints are distinct gamma positions
+    // except pending ends at the shared horizon; process starts before ends
+    // at equal positions so back-to-back pending ops count as concurrent.
+    std::sort(points.begin(), points.end(), [](endpoint a, endpoint b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.is_start && !b.is_start;
+    });
+    std::size_t in_flight = 0;
+    for (const endpoint& p : points) {
+        if (p.is_start) {
+            out.max_concurrency = std::max(out.max_concurrency, ++in_flight);
+        } else {
+            --in_flight;
+        }
+    }
+
+    // Overlap pairs: sort by invocation, count via active set. O(n^2) in
+    // the worst case (everything overlapping); fine at report scale.
+    std::vector<const operation*> by_inv;
+    by_inv.reserve(h.ops.size());
+    for (const operation& op : h.ops) by_inv.push_back(&op);
+    std::sort(by_inv.begin(), by_inv.end(),
+              [](const operation* a, const operation* b) {
+                  return a->invoked < b->invoked;
+              });
+    std::vector<const operation*> active;
+    std::set<const operation*> contended;
+    for (const operation* op : by_inv) {
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](const operation* a) {
+                                        const event_pos end =
+                                            a->complete() ? a->responded : horizon;
+                                        return end < op->invoked;
+                                    }),
+                     active.end());
+        out.overlapping_pairs += active.size();
+        if (!active.empty()) contended.insert(op);
+        for (const operation* a : active) contended.insert(a);
+        active.push_back(op);
+    }
+    out.contended_ops = contended.size();
+    return out;
+}
+
+std::string format_stats(const history_stats& s) {
+    std::ostringstream oss;
+    oss << "operations : " << s.operations << " (" << s.writes << " writes, "
+        << s.reads << " reads, " << s.pending << " pending/crashed)\n"
+        << "processors : " << s.processors << " (";
+    bool first = true;
+    for (const auto& [proc, count] : s.ops_per_processor) {
+        if (!first) oss << ", ";
+        oss << "p" << proc << ":" << count;
+        first = false;
+    }
+    oss << ")\n"
+        << "concurrency: max " << s.max_concurrency << " in flight, "
+        << s.overlapping_pairs << " overlapping pairs, " << s.contended_ops
+        << " contended ops\n";
+    return oss.str();
+}
+
+}  // namespace bloom87

@@ -1,0 +1,42 @@
+// bloom87: descriptive statistics over recorded histories.
+//
+// Concurrency structure is what makes a history interesting -- a fully
+// sequential run exercises none of the protocol's hard cases. These
+// statistics quantify how adversarial a recorded execution actually was;
+// the check_history tool and the fuzz harness print them alongside
+// verdicts.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "histories/history.hpp"
+
+namespace bloom87 {
+
+struct history_stats {
+    std::size_t operations{0};
+    std::size_t writes{0};
+    std::size_t reads{0};
+    std::size_t pending{0};            ///< crashed / never-responded ops
+    std::size_t processors{0};
+
+    /// Concurrency: how many operations were in flight simultaneously.
+    std::size_t max_concurrency{0};
+    /// Number of operation pairs whose intervals overlap.
+    std::size_t overlapping_pairs{0};
+    /// Operations overlapping at least one other operation.
+    std::size_t contended_ops{0};
+
+    /// Per-processor operation counts.
+    std::map<processor_id, std::size_t> ops_per_processor;
+};
+
+/// Computes the statistics. O(n log n) in the number of operations.
+[[nodiscard]] history_stats compute_stats(const history& h);
+
+/// Multi-line human-readable rendering.
+[[nodiscard]] std::string format_stats(const history_stats& s);
+
+}  // namespace bloom87

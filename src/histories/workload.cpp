@@ -1,0 +1,33 @@
+#include "histories/workload.hpp"
+
+#include "util/rng.hpp"
+
+namespace bloom87 {
+
+workload make_workload(const workload_config& cfg, std::uint64_t seed) {
+    rng gen(seed);
+    workload w;
+    w.scripts.resize(cfg.writers + cfg.readers);
+
+    for (std::size_t p = 0; p < cfg.writers; ++p) {
+        auto& script = w.scripts[p];
+        script.reserve(cfg.ops_per_writer);
+        std::uint32_t counter = 0;
+        for (std::size_t k = 0; k < cfg.ops_per_writer; ++k) {
+            if (gen.chance(cfg.writer_read_num, cfg.writer_read_den)) {
+                script.push_back({op_kind::read, 0});
+            } else {
+                script.push_back(
+                    {op_kind::write,
+                     unique_value(static_cast<processor_id>(p), counter++)});
+            }
+        }
+    }
+    for (std::size_t r = 0; r < cfg.readers; ++r) {
+        auto& script = w.scripts[cfg.writers + r];
+        script.assign(cfg.ops_per_reader, workload_op{op_kind::read, 0});
+    }
+    return w;
+}
+
+}  // namespace bloom87

@@ -1,0 +1,57 @@
+// bloom87: actions of the (simplified) Lynch-Tuttle I/O automaton model.
+//
+// Paper, Section 2-3. An action is a signal passed between automata over a
+// named channel. The register signature (paper, Figure 1) consists of:
+//
+//   R_start        command to read                  (input to the register)
+//   R_finish(v)    read acknowledgment carrying v   (output)
+//   W_start(v)     command to write v               (input)
+//   W_finish       write acknowledgment             (output)
+//   R*(v), W*(v)   internal events marking the instant the operation
+//                  "actually occurred" (the *-actions)
+//
+// Channels are plain strings ("wr0->reg1", "ext:rd2", ...); composition
+// synchronizes actions by (channel, kind) equality: one automaton's output
+// is delivered to every automaton that declares it as input.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "histories/events.hpp"
+
+namespace bloom87::ioa {
+
+enum class act : std::uint8_t {
+    read_request,   ///< R_start
+    read_ack,       ///< R_finish(v)
+    write_request,  ///< W_start(v)
+    write_ack,      ///< W_finish
+    star_read,      ///< R*(v) -- internal
+    star_write,     ///< W*(v) -- internal
+};
+
+[[nodiscard]] constexpr bool is_request(act a) noexcept {
+    return a == act::read_request || a == act::write_request;
+}
+[[nodiscard]] constexpr bool is_ack(act a) noexcept {
+    return a == act::read_ack || a == act::write_ack;
+}
+[[nodiscard]] constexpr bool is_star(act a) noexcept {
+    return a == act::star_read || a == act::star_write;
+}
+
+struct action {
+    act kind{act::read_request};
+    std::string channel;
+    value_t value{0};  ///< W_start / R_finish / star actions carry a value
+
+    friend bool operator==(const action&, const action&) = default;
+    friend auto operator<=>(const action&, const action&) = default;
+};
+
+[[nodiscard]] std::string to_string(act a);
+[[nodiscard]] std::string to_string(const action& a);
+
+}  // namespace bloom87::ioa

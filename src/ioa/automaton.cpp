@@ -1,0 +1,58 @@
+#include "ioa/automaton.hpp"
+
+#include <sstream>
+
+namespace bloom87::ioa {
+
+std::string to_string(act a) {
+    switch (a) {
+        case act::read_request: return "R_start";
+        case act::read_ack: return "R_finish";
+        case act::write_request: return "W_start";
+        case act::write_ack: return "W_finish";
+        case act::star_read: return "R*";
+        case act::star_write: return "W*";
+    }
+    return "?";
+}
+
+std::string to_string(const action& a) {
+    std::ostringstream oss;
+    oss << to_string(a.kind) << "@" << a.channel;
+    if (a.kind == act::write_request || a.kind == act::read_ack || is_star(a.kind)) {
+        oss << "(" << a.value << ")";
+    }
+    return oss.str();
+}
+
+composition::composition(std::vector<automaton*> parts)
+    : parts_(std::move(parts)) {}
+
+std::vector<std::pair<std::size_t, action>> composition::enabled() const {
+    std::vector<std::pair<std::size_t, action>> out;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        for (action& a : parts_[i]->enabled()) {
+            out.emplace_back(i, std::move(a));
+        }
+    }
+    return out;
+}
+
+void composition::apply(std::size_t owner, const action& a) {
+    parts_[owner]->apply(a);
+    if (parts_[owner]->in_internal(a)) return;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        if (i == owner) continue;
+        if (parts_[i]->in_input(a)) parts_[i]->apply(a);
+    }
+}
+
+std::string composition::describe() const {
+    std::ostringstream oss;
+    for (const automaton* p : parts_) {
+        oss << p->name() << "\n";
+    }
+    return oss.str();
+}
+
+}  // namespace bloom87::ioa

@@ -1,0 +1,67 @@
+// bloom87: I/O automata and their composition (paper, Section 2).
+//
+// An automaton has Input, Output, and Internal sub-alphabets; it must be
+// input-enabled (able to accept any input action in any state -- possibly by
+// ignoring it). Automata compose by synchronizing one component's output
+// with the equally-named inputs of others; internal actions never
+// synchronize. A schedule is the sequence of actions taken; the external
+// schedule omits internal actions.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ioa/action.hpp"
+
+namespace bloom87::ioa {
+
+class automaton {
+public:
+    virtual ~automaton() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Signature predicates. The three sub-alphabets must be disjoint.
+    [[nodiscard]] virtual bool in_input(const action& a) const = 0;
+    [[nodiscard]] virtual bool in_output(const action& a) const = 0;
+    [[nodiscard]] virtual bool in_internal(const action& a) const = 0;
+
+    /// Locally controlled (output + internal) actions enabled now.
+    [[nodiscard]] virtual std::vector<action> enabled() const = 0;
+
+    /// Takes a step labeled `a`. For inputs this must succeed in every state
+    /// (input-enabledness); for locally controlled actions `a` must be one
+    /// of enabled().
+    virtual void apply(const action& a) = 0;
+};
+
+/// A closed system of automata. Output actions synchronize with all
+/// components that name them as inputs.
+class composition {
+public:
+    /// Components keep their identity; the composition borrows them.
+    explicit composition(std::vector<automaton*> parts);
+
+    /// All locally-controlled actions currently enabled, with the index of
+    /// the controlling component.
+    [[nodiscard]] std::vector<std::pair<std::size_t, action>> enabled() const;
+
+    /// Performs `a` (controlled by component `owner`): the owner steps, and
+    /// every component with `a` in its input alphabet steps too.
+    void apply(std::size_t owner, const action& a);
+
+    [[nodiscard]] const std::vector<automaton*>& parts() const noexcept {
+        return parts_;
+    }
+
+    /// Channel matrix: for each component, which actions of the others it
+    /// consumes. Used by the Figure 2 architecture report.
+    [[nodiscard]] std::string describe() const;
+
+private:
+    std::vector<automaton*> parts_;
+};
+
+}  // namespace bloom87::ioa

@@ -1,0 +1,148 @@
+#include "ioa/executor.hpp"
+
+#include <array>
+#include <cassert>
+#include <map>
+
+#include "ioa/protocol_automata.hpp"
+#include "util/rng.hpp"
+
+namespace bloom87::ioa {
+
+schedule run_fair(composition& system, std::uint64_t seed,
+                  std::size_t max_steps) {
+    rng gen(seed);
+    schedule out;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        auto options = system.enabled();
+        if (options.empty()) return out;
+        auto& [owner, a] = options[gen.below(options.size())];
+        system.apply(owner, a);
+        out.push_back(scheduled_action{owner, std::move(a)});
+    }
+    assert(false && "run_fair exceeded max_steps; system does not quiesce");
+    return out;
+}
+
+std::vector<action> external_schedule(const schedule& s) {
+    std::vector<action> out;
+    for (const scheduled_action& sa : s) {
+        if (sa.act_taken.channel.starts_with("ext:")) {
+            out.push_back(sa.act_taken);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+processor_id processor_of_channel(const std::string& chan) {
+    // "ext:wr0" -> 0, "ext:wr1" -> 1, "ext:rd<j>" -> 1+j.
+    if (chan.starts_with("ext:wr")) {
+        return static_cast<processor_id>(std::stoi(chan.substr(6)));
+    }
+    assert(chan.starts_with("ext:rd"));
+    return static_cast<processor_id>(1 + std::stoi(chan.substr(6)));
+}
+
+}  // namespace
+
+std::vector<operation> external_history(const schedule& s) {
+    std::vector<operation> out;
+    std::map<std::string, std::size_t> open;  // channel -> index in out
+    std::map<std::string, op_index> counters;
+    event_pos clock = 0;
+    for (const scheduled_action& sa : s) {
+        const action& a = sa.act_taken;
+        if (!a.channel.starts_with("ext:")) {
+            ++clock;  // internal progress still advances time
+            continue;
+        }
+        if (is_request(a.kind)) {
+            operation op;
+            op.id = op_id{processor_of_channel(a.channel), counters[a.channel]++};
+            op.kind = a.kind == act::write_request ? op_kind::write : op_kind::read;
+            op.value = a.value;
+            op.invoked = clock++;
+            open[a.channel] = out.size();
+            out.push_back(op);
+        } else if (is_ack(a.kind)) {
+            auto it = open.find(a.channel);
+            assert(it != open.end());
+            operation& op = out[it->second];
+            if (op.kind == op_kind::read) op.value = a.value;
+            op.responded = clock++;
+            open.erase(it);
+        }
+    }
+    return out;
+}
+
+std::vector<event> to_gamma(const schedule& s) {
+    std::vector<event> out;
+    // Per-processor simulated-op counters (bumped on each external request)
+    // and per-register last-write positions for observed_write.
+    std::map<processor_id, op_index> op_counter;
+    std::map<processor_id, op_index> current_op;
+    std::array<event_pos, 2> last_write{no_event, no_event};
+
+    auto channel_processor = [](const std::string& chan) -> processor_id {
+        // "wr0->reg1" -> 0, "rd3->reg0" -> 1+3.
+        if (chan.starts_with("wr")) {
+            return static_cast<processor_id>(std::stoi(chan.substr(2)));
+        }
+        return static_cast<processor_id>(1 + std::stoi(chan.substr(2)));
+    };
+    auto channel_register = [](const std::string& chan) -> std::uint8_t {
+        const auto arrow = chan.find("->reg");
+        return static_cast<std::uint8_t>(std::stoi(chan.substr(arrow + 5)));
+    };
+
+    for (const scheduled_action& sa : s) {
+        const action& a = sa.act_taken;
+        if (a.channel.starts_with("ext:")) {
+            if (!is_request(a.kind) && !is_ack(a.kind)) continue;
+            event e;
+            const processor_id proc = [&] {
+                const std::string port = a.channel.substr(4);
+                if (port.starts_with("wr")) {
+                    return static_cast<processor_id>(std::stoi(port.substr(2)));
+                }
+                return static_cast<processor_id>(1 + std::stoi(port.substr(2)));
+            }();
+            e.processor = proc;
+            if (is_request(a.kind)) {
+                current_op[proc] = op_counter[proc]++;
+                e.kind = a.kind == act::write_request
+                             ? event_kind::sim_invoke_write
+                             : event_kind::sim_invoke_read;
+                e.value = a.kind == act::write_request ? a.value : 0;
+            } else {
+                e.kind = a.kind == act::write_ack ? event_kind::sim_respond_write
+                                                  : event_kind::sim_respond_read;
+                e.value = a.kind == act::read_ack ? a.value : 0;
+            }
+            e.op = current_op[proc];
+            out.push_back(e);
+        } else if (is_star(a.kind) && a.channel.find("->reg") != std::string::npos) {
+            event e;
+            e.processor = channel_processor(a.channel);
+            e.op = current_op[e.processor];
+            e.reg = channel_register(a.channel);
+            // Register channels carry tagged values encoded as value*2+tag.
+            e.tag = decode_tagged_bit(a.value);
+            e.value = decode_tagged_value(a.value);
+            if (a.kind == act::star_write) {
+                e.kind = event_kind::real_write;
+                last_write[e.reg] = out.size();
+            } else {
+                e.kind = event_kind::real_read;
+                e.observed_write = last_write[e.reg];
+            }
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+}  // namespace bloom87::ioa

@@ -1,0 +1,49 @@
+// bloom87: fair execution of composed I/O automata.
+//
+// Paper, Section 2: a fair execution lets every component that wants to
+// take a step eventually take one. The executor picks uniformly at random
+// among all enabled locally-controlled actions -- fair with probability 1
+// on the terminating runs used here -- and records the schedule. Helpers
+// extract the external schedule and convert it into an operation history
+// for the linearizability checkers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "histories/history.hpp"
+#include "ioa/automaton.hpp"
+
+namespace bloom87::ioa {
+
+struct scheduled_action {
+    std::size_t owner;  ///< controlling component index
+    action act_taken;
+};
+
+using schedule = std::vector<scheduled_action>;
+
+/// Runs the composition until no locally-controlled action is enabled (for
+/// the register systems here that means: environment script exhausted and
+/// all protocols quiescent). `max_steps` is a runaway guard.
+[[nodiscard]] schedule run_fair(composition& system, std::uint64_t seed,
+                                std::size_t max_steps = 1'000'000);
+
+/// The external schedule: actions on "ext:*" channels only.
+[[nodiscard]] std::vector<action> external_schedule(const schedule& s);
+
+/// Converts an external schedule into an operation history. Processor ids
+/// follow the repository convention: ext:wr0 -> 0, ext:wr1 -> 1,
+/// ext:rd<j> -> 1+j.
+[[nodiscard]] std::vector<operation> external_history(const schedule& s);
+
+/// Converts a full schedule of the Figure 2 system into a gamma event
+/// sequence: external requests/acks become simulated-operation events, and
+/// the register automata's internal star actions become real_read /
+/// real_write events (with observed_write reconstructed from star order).
+/// The result feeds the constructive linearizer -- i.e. the paper's proof
+/// can be run on I/O-automaton executions, not just threaded ones.
+[[nodiscard]] std::vector<event> to_gamma(const schedule& s);
+
+}  // namespace bloom87::ioa

@@ -1,0 +1,285 @@
+#include "ioa/protocol_automata.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "core/protocol.hpp"
+
+namespace bloom87::ioa {
+namespace {
+
+std::string reg_channel(const std::string& who, int reg) {
+    return who + "->reg" + std::to_string(reg);
+}
+
+// ---------------------------------------------------------------------------
+// Writer automaton.
+// ---------------------------------------------------------------------------
+
+class writer_automaton final : public automaton {
+public:
+    explicit writer_automaton(int index)
+        : index_(index), ext_("ext:wr" + std::to_string(index)),
+          read_chan_(reg_channel("wr" + std::to_string(index), 1 - index)),
+          write_chan_(reg_channel("wr" + std::to_string(index), index)) {}
+
+    [[nodiscard]] std::string name() const override {
+        return "Wr" + std::to_string(index_);
+    }
+
+    [[nodiscard]] bool in_input(const action& a) const override {
+        return (a.channel == ext_ && a.kind == act::write_request) ||
+               (a.channel == read_chan_ && a.kind == act::read_ack) ||
+               (a.channel == write_chan_ && a.kind == act::write_ack);
+    }
+    [[nodiscard]] bool in_output(const action& a) const override {
+        return (a.channel == ext_ && a.kind == act::write_ack) ||
+               (a.channel == read_chan_ && a.kind == act::read_request) ||
+               (a.channel == write_chan_ && a.kind == act::write_request);
+    }
+    [[nodiscard]] bool in_internal(const action&) const override { return false; }
+
+    [[nodiscard]] std::vector<action> enabled() const override {
+        switch (pc_) {
+            case phase::send_read:
+                return {action{act::read_request, read_chan_, 0}};
+            case phase::send_write:
+                return {action{act::write_request, write_chan_, pending_}};
+            case phase::send_ext_ack:
+                return {action{act::write_ack, ext_, 0}};
+            default:
+                return {};
+        }
+    }
+
+    void apply(const action& a) override {
+        if (a.channel == ext_ && a.kind == act::write_request) {
+            if (pc_ != phase::idle) return;  // improper input: ignore
+            value_ = a.value;
+            pc_ = phase::send_read;
+        } else if (a.channel == read_chan_ && a.kind == act::read_request) {
+            pc_ = phase::await_tag;
+        } else if (a.channel == read_chan_ && a.kind == act::read_ack) {
+            if (pc_ != phase::await_tag) return;
+            const bool t = writer_tag_choice(index_, decode_tagged_bit(a.value));
+            pending_ = encode_tagged_value(value_, t);
+            pc_ = phase::send_write;
+        } else if (a.channel == write_chan_ && a.kind == act::write_request) {
+            pc_ = phase::await_write_ack;
+        } else if (a.channel == write_chan_ && a.kind == act::write_ack) {
+            if (pc_ != phase::await_write_ack) return;
+            pc_ = phase::send_ext_ack;
+        } else if (a.channel == ext_ && a.kind == act::write_ack) {
+            pc_ = phase::idle;
+        }
+    }
+
+private:
+    enum class phase : std::uint8_t {
+        idle, send_read, await_tag, send_write, await_write_ack, send_ext_ack
+    };
+
+    int index_;
+    std::string ext_, read_chan_, write_chan_;
+    phase pc_{phase::idle};
+    value_t value_{0};    // value being written (raw)
+    value_t pending_{0};  // encoded tagged pair for the real write
+};
+
+// ---------------------------------------------------------------------------
+// Reader automaton.
+// ---------------------------------------------------------------------------
+
+class reader_automaton final : public automaton {
+public:
+    explicit reader_automaton(int number)
+        : number_(number), ext_("ext:rd" + std::to_string(number)),
+          chan_{reg_channel("rd" + std::to_string(number), 0),
+                reg_channel("rd" + std::to_string(number), 1)} {}
+
+    [[nodiscard]] std::string name() const override {
+        return "Rd" + std::to_string(number_);
+    }
+
+    [[nodiscard]] bool in_input(const action& a) const override {
+        return (a.channel == ext_ && a.kind == act::read_request) ||
+               ((a.channel == chan_[0] || a.channel == chan_[1]) &&
+                a.kind == act::read_ack);
+    }
+    [[nodiscard]] bool in_output(const action& a) const override {
+        return (a.channel == ext_ && a.kind == act::read_ack) ||
+               ((a.channel == chan_[0] || a.channel == chan_[1]) &&
+                a.kind == act::read_request);
+    }
+    [[nodiscard]] bool in_internal(const action&) const override { return false; }
+
+    [[nodiscard]] std::vector<action> enabled() const override {
+        switch (pc_) {
+            case phase::send_r0:
+                return {action{act::read_request, chan_[0], 0}};
+            case phase::send_r1:
+                return {action{act::read_request, chan_[1], 0}};
+            case phase::send_r2:
+                return {action{act::read_request, chan_[pick_], 0}};
+            case phase::send_ext_ack:
+                return {action{act::read_ack, ext_, result_}};
+            default:
+                return {};
+        }
+    }
+
+    void apply(const action& a) override {
+        if (a.channel == ext_ && a.kind == act::read_request) {
+            if (pc_ != phase::idle) return;  // improper input: ignore
+            pc_ = phase::send_r0;
+        } else if (a.kind == act::read_request) {
+            // Our own outputs, advancing to the matching wait state.
+            if (pc_ == phase::send_r0) pc_ = phase::await_r0;
+            else if (pc_ == phase::send_r1) pc_ = phase::await_r1;
+            else if (pc_ == phase::send_r2) pc_ = phase::await_r2;
+        } else if (a.kind == act::read_ack && a.channel != ext_) {
+            if (pc_ == phase::await_r0 && a.channel == chan_[0]) {
+                t0_ = decode_tagged_bit(a.value);
+                pc_ = phase::send_r1;
+            } else if (pc_ == phase::await_r1 && a.channel == chan_[1]) {
+                t1_ = decode_tagged_bit(a.value);
+                pick_ = static_cast<std::size_t>(reader_pick(t0_, t1_));
+                pc_ = phase::send_r2;
+            } else if (pc_ == phase::await_r2 && a.channel == chan_[pick_]) {
+                result_ = decode_tagged_value(a.value);
+                pc_ = phase::send_ext_ack;
+            }
+        } else if (a.channel == ext_ && a.kind == act::read_ack) {
+            pc_ = phase::idle;
+        }
+    }
+
+private:
+    enum class phase : std::uint8_t {
+        idle, send_r0, await_r0, send_r1, await_r1, send_r2, await_r2,
+        send_ext_ack
+    };
+
+    int number_;
+    std::string ext_;
+    std::array<std::string, 2> chan_;
+    phase pc_{phase::idle};
+    bool t0_{false}, t1_{false};
+    std::size_t pick_{0};
+    value_t result_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Environment automaton.
+// ---------------------------------------------------------------------------
+
+class environment_automaton final : public automaton {
+public:
+    explicit environment_automaton(std::vector<env_port> ports)
+        : ports_(std::move(ports)), waiting_(ports_.size(), false),
+          progress_(ports_.size(), 0) {}
+
+    [[nodiscard]] std::string name() const override { return "Env"; }
+
+    [[nodiscard]] bool in_input(const action& a) const override {
+        return is_ack(a.kind) && port_index(a.channel) != npos;
+    }
+    [[nodiscard]] bool in_output(const action& a) const override {
+        return is_request(a.kind) && port_index(a.channel) != npos;
+    }
+    [[nodiscard]] bool in_internal(const action&) const override { return false; }
+
+    [[nodiscard]] std::vector<action> enabled() const override {
+        std::vector<action> out;
+        for (std::size_t i = 0; i < ports_.size(); ++i) {
+            if (waiting_[i] || progress_[i] >= ports_[i].script.size()) continue;
+            const env_op& op = ports_[i].script[progress_[i]];
+            out.push_back(action{
+                op.is_write ? act::write_request : act::read_request,
+                ports_[i].channel, op.value});
+        }
+        return out;
+    }
+
+    void apply(const action& a) override {
+        const std::size_t i = port_index(a.channel);
+        if (i == npos) return;
+        if (is_request(a.kind)) {
+            waiting_[i] = true;
+        } else if (is_ack(a.kind)) {
+            waiting_[i] = false;
+            ++progress_[i];
+        }
+    }
+
+    [[nodiscard]] bool script_done() const {
+        for (std::size_t i = 0; i < ports_.size(); ++i) {
+            if (waiting_[i] || progress_[i] < ports_[i].script.size()) return false;
+        }
+        return true;
+    }
+
+private:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] std::size_t port_index(const std::string& chan) const {
+        for (std::size_t i = 0; i < ports_.size(); ++i) {
+            if (ports_[i].channel == chan) return i;
+        }
+        return npos;
+    }
+
+    std::vector<env_port> ports_;
+    std::vector<bool> waiting_;
+    std::vector<std::size_t> progress_;
+};
+
+}  // namespace
+
+std::unique_ptr<automaton> make_writer_automaton(int writer_index) {
+    return std::make_unique<writer_automaton>(writer_index);
+}
+
+std::unique_ptr<automaton> make_reader_automaton(int reader_number) {
+    return std::make_unique<reader_automaton>(reader_number);
+}
+
+std::unique_ptr<automaton> make_environment(std::vector<env_port> ports) {
+    return std::make_unique<environment_automaton>(std::move(ports));
+}
+
+simulated_register_system make_simulated_register(
+    value_t initial, int num_readers, std::vector<env_port> env_ports) {
+    simulated_register_system sys;
+
+    // Real register channels (paper, Fig. 2): Reg_i is written by Wr_i and
+    // read by the other writer and every reader.
+    for (int i = 0; i < 2; ++i) {
+        std::vector<std::string> read_channels;
+        read_channels.push_back(
+            reg_channel("wr" + std::to_string(1 - i), i));
+        for (int j = 1; j <= num_readers; ++j) {
+            read_channels.push_back(reg_channel("rd" + std::to_string(j), i));
+        }
+        auto reg = std::make_unique<register_automaton>(
+            "Reg" + std::to_string(i), encode_tagged_value(initial, false),
+            reg_channel("wr" + std::to_string(i), i), std::move(read_channels));
+        if (i == 0) sys.reg0 = reg.get();
+        else sys.reg1 = reg.get();
+        sys.owned.push_back(std::move(reg));
+    }
+    sys.owned.push_back(make_writer_automaton(0));
+    sys.owned.push_back(make_writer_automaton(1));
+    for (int j = 1; j <= num_readers; ++j) {
+        sys.owned.push_back(make_reader_automaton(j));
+    }
+    sys.owned.push_back(make_environment(std::move(env_ports)));
+
+    std::vector<automaton*> parts;
+    parts.reserve(sys.owned.size());
+    for (auto& a : sys.owned) parts.push_back(a.get());
+    sys.system = std::make_unique<composition>(std::move(parts));
+    return sys;
+}
+
+}  // namespace bloom87::ioa

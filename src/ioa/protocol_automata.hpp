@@ -1,0 +1,68 @@
+// bloom87: the protocol automata of the simulated register (paper, Fig. 2).
+//
+// The simulated register is the composition of n+4 automata: Reg0 and Reg1
+// (register_automaton instances), the writers Wr0 and Wr1, and the readers
+// Rd1..Rdn. Each writer/reader has one external channel (the simulated
+// register's port) and channels to the real registers: writer i writes
+// Reg_i and reads Reg_{1-i}; readers read both.
+//
+// Channel naming convention (used by tests and the Figure 2 report):
+//   external ports:   "ext:wr0", "ext:wr1", "ext:rd<j>"
+//   register access:  "wr0->reg1" (Wr0's read channel to Reg1),
+//                      "wr0->reg0" (its write channel), "rd<j>->reg<i>", ...
+//
+// Values on register channels are tagged pairs encoded as value*2+tag.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ioa/automaton.hpp"
+#include "ioa/register_automaton.hpp"
+
+namespace bloom87::ioa {
+
+[[nodiscard]] constexpr value_t encode_tagged_value(value_t v, bool tag) noexcept {
+    return v * 2 + (tag ? 1 : 0);
+}
+[[nodiscard]] constexpr value_t decode_tagged_value(value_t enc) noexcept {
+    return enc >= 0 ? enc / 2 : -((-enc) / 2);
+}
+[[nodiscard]] constexpr bool decode_tagged_bit(value_t enc) noexcept {
+    return (enc % 2) != 0;
+}
+
+/// Writer automaton Wr_i (paper, Section 5 write protocol).
+[[nodiscard]] std::unique_ptr<automaton> make_writer_automaton(int writer_index);
+
+/// Reader automaton Rd_j (three-real-read protocol).
+[[nodiscard]] std::unique_ptr<automaton> make_reader_automaton(int reader_number);
+
+/// Environment automaton: drives scripted operations into the external
+/// ports and consumes the acknowledgments. Scripts are (port, op) lists.
+struct env_op {
+    bool is_write{false};
+    value_t value{0};
+};
+struct env_port {
+    std::string channel;               ///< e.g. "ext:wr0"
+    std::vector<env_op> script;
+};
+[[nodiscard]] std::unique_ptr<automaton> make_environment(
+    std::vector<env_port> ports);
+
+/// Convenience: builds the full simulated-register system of the paper's
+/// Figure 2 -- two register automata, two writers, `num_readers` readers,
+/// and an environment running the given scripts. Returns owning storage plus
+/// a composition view over it.
+struct simulated_register_system {
+    std::vector<std::unique_ptr<automaton>> owned;
+    std::unique_ptr<composition> system;
+    register_automaton* reg0{nullptr};
+    register_automaton* reg1{nullptr};
+};
+[[nodiscard]] simulated_register_system make_simulated_register(
+    value_t initial, int num_readers, std::vector<env_port> env_ports);
+
+}  // namespace bloom87::ioa

@@ -1,0 +1,81 @@
+#include "ioa/register_automaton.hpp"
+
+namespace bloom87::ioa {
+
+register_automaton::register_automaton(std::string name, value_t initial,
+                                       std::string write_channel,
+                                       std::vector<std::string> read_channels)
+    : name_(std::move(name)), current_(initial),
+      write_channel_(std::move(write_channel)) {
+    channels_[write_channel_] = channel_state{true, phase::idle, 0};
+    for (auto& c : read_channels) {
+        channels_[std::move(c)] = channel_state{false, phase::idle, 0};
+    }
+}
+
+bool register_automaton::in_input(const action& a) const {
+    auto it = channels_.find(a.channel);
+    if (it == channels_.end()) return false;
+    return it->second.is_write ? a.kind == act::write_request
+                               : a.kind == act::read_request;
+}
+
+bool register_automaton::in_output(const action& a) const {
+    auto it = channels_.find(a.channel);
+    if (it == channels_.end()) return false;
+    return it->second.is_write ? a.kind == act::write_ack
+                               : a.kind == act::read_ack;
+}
+
+bool register_automaton::in_internal(const action& a) const {
+    auto it = channels_.find(a.channel);
+    if (it == channels_.end()) return false;
+    return it->second.is_write ? a.kind == act::star_write
+                               : a.kind == act::star_read;
+}
+
+std::vector<action> register_automaton::enabled() const {
+    std::vector<action> out;
+    for (const auto& [chan, st] : channels_) {
+        if (st.ph == phase::requested) {
+            out.push_back(action{st.is_write ? act::star_write : act::star_read,
+                                 chan, st.is_write ? st.value : current_});
+        } else if (st.ph == phase::performed) {
+            out.push_back(action{st.is_write ? act::write_ack : act::read_ack,
+                                 chan, st.value});
+        }
+    }
+    return out;
+}
+
+void register_automaton::apply(const action& a) {
+    auto it = channels_.find(a.channel);
+    if (it == channels_.end()) return;  // not ours; ignore (input-enabled)
+    channel_state& st = it->second;
+    switch (a.kind) {
+        case act::read_request:
+        case act::write_request:
+            // Improper input on a busy channel is ignored.
+            if (st.ph == phase::idle) {
+                st.ph = phase::requested;
+                st.value = a.value;
+            }
+            break;
+        case act::star_read:
+            st.value = current_;  // the instant the read takes effect
+            st.ph = phase::performed;
+            ++stars_;
+            break;
+        case act::star_write:
+            current_ = st.value;  // the instant the write takes effect
+            st.ph = phase::performed;
+            ++stars_;
+            break;
+        case act::read_ack:
+        case act::write_ack:
+            st.ph = phase::idle;
+            break;
+    }
+}
+
+}  // namespace bloom87::ioa

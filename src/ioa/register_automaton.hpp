@@ -1,0 +1,62 @@
+// bloom87: the atomic-register specification automaton (paper, Section 3).
+//
+// A 1-writer n-reader atomic register as an I/O automaton: requests arrive
+// as inputs, an *internal* star action marks the instant the operation takes
+// effect against the register state, and the acknowledgment is an output.
+// Every schedule this automaton can produce is atomic BY CONSTRUCTION --
+// which is exactly how the paper uses its "real registers". The simulated
+// register built from two of these plus the protocol automata is then
+// checked for atomicity from the outside.
+//
+// Input-enabledness: a request on a channel that is already mid-operation
+// is improper input (violates input-correctness, Section 3); the automaton
+// accepts and ignores it, as the model prescribes ("any behavior by the
+// register is legitimate").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ioa/automaton.hpp"
+
+namespace bloom87::ioa {
+
+/// SWMR atomic register automaton over value_t contents.
+class register_automaton final : public automaton {
+public:
+    /// `write_channel`: the single writer's channel. `read_channels`: one
+    /// per reader port (n readers of the simulated register + the other
+    /// writer, per the paper's architecture).
+    register_automaton(std::string name, value_t initial,
+                       std::string write_channel,
+                       std::vector<std::string> read_channels);
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] bool in_input(const action& a) const override;
+    [[nodiscard]] bool in_output(const action& a) const override;
+    [[nodiscard]] bool in_internal(const action& a) const override;
+    [[nodiscard]] std::vector<action> enabled() const override;
+    void apply(const action& a) override;
+
+    [[nodiscard]] value_t contents() const noexcept { return current_; }
+
+    /// Count of star actions taken (for reports).
+    [[nodiscard]] std::size_t stars_taken() const noexcept { return stars_; }
+
+private:
+    enum class phase : std::uint8_t { idle, requested, performed };
+    struct channel_state {
+        bool is_write{false};
+        phase ph{phase::idle};
+        value_t value{0};  ///< write argument / read result
+    };
+
+    std::string name_;
+    value_t current_;
+    std::string write_channel_;
+    std::map<std::string, channel_state> channels_;
+    std::size_t stars_{0};
+};
+
+}  // namespace bloom87::ioa

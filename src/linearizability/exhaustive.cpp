@@ -1,0 +1,101 @@
+#include "linearizability/exhaustive.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bloom87 {
+namespace {
+
+struct memo_key {
+    std::uint64_t mask;
+    value_t value;
+
+    friend bool operator==(memo_key, memo_key) noexcept = default;
+};
+
+struct memo_hash {
+    std::size_t operator()(memo_key k) const noexcept {
+        std::uint64_t h = k.mask * 0x9e3779b97f4a7c15ULL;
+        h ^= static_cast<std::uint64_t>(k.value) + 0x517cc1b727220a95ULL +
+             (h << 6) + (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+class searcher {
+public:
+    searcher(const std::vector<operation>& ops, value_t initial)
+        : ops_(ops), initial_(initial) {}
+
+    bool run(exhaustive_result& out) {
+        path_.reserve(ops_.size());
+        const bool found = dfs(0, initial_);
+        out.states_explored = states_;
+        if (found) out.witness = path_;
+        return found;
+    }
+
+private:
+    // True when `o` may be linearized next: no unlinearized operation's
+    // response precedes o's invocation.
+    bool minimal(std::uint64_t mask, std::size_t o) const {
+        const event_pos inv = ops_[o].invoked;
+        for (std::size_t p = 0; p < ops_.size(); ++p) {
+            if (p == o || (mask >> p) & 1ULL) continue;
+            if (ops_[p].responded < inv) return false;
+        }
+        return true;
+    }
+
+    bool dfs(std::uint64_t mask, value_t current) {
+        ++states_;
+        if (mask == (ops_.size() == 64 ? ~0ULL : (1ULL << ops_.size()) - 1)) {
+            return true;
+        }
+        if (!visited_.insert(memo_key{mask, current}).second) return false;
+
+        for (std::size_t o = 0; o < ops_.size(); ++o) {
+            if ((mask >> o) & 1ULL) continue;
+            if (!minimal(mask, o)) continue;
+            const operation& op = ops_[o];
+            value_t next = current;
+            if (op.kind == op_kind::write) {
+                next = op.value;
+            } else if (op.value != current) {
+                continue;  // this read cannot linearize here
+            }
+            path_.push_back(o);
+            if (dfs(mask | (1ULL << o), next)) return true;
+            path_.pop_back();
+        }
+        return false;
+    }
+
+    const std::vector<operation>& ops_;
+    value_t initial_;
+    std::uint64_t states_{0};
+    std::vector<std::size_t> path_;
+    std::unordered_set<memo_key, memo_hash> visited_;
+};
+
+}  // namespace
+
+exhaustive_result check_exhaustive(const std::vector<operation>& raw,
+                                   value_t initial) {
+    exhaustive_result out;
+    normalized_history norm =
+        normalize_history(raw, initial, /*require_unique_writes=*/false);
+    if (!norm.ok()) {
+        out.defect = norm.defect;
+        return out;
+    }
+    if (norm.ops.size() > 62) {
+        out.defect = "history too large for exhaustive checking (limit 62 ops)";
+        return out;
+    }
+    searcher s(norm.ops, initial);
+    out.linearizable = s.run(out);
+    return out;
+}
+
+}  // namespace bloom87

@@ -1,0 +1,39 @@
+// bloom87: exhaustive linearizability checker (Wing-Gong search with
+// memoization, in the style of Lowe's optimization).
+//
+// Sound and complete for register histories of up to 62 operations. The
+// search explores every real-time-consistent order of operations against the
+// sequential register spec, memoizing (linearized-set, register-value)
+// states. Exponential in the worst case -- used for model-checker leaves,
+// scenario tests, and for cross-validating the polynomial checker; large
+// stress histories go to fast_register.hpp or the Bloom constructive
+// linearizer instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "histories/history.hpp"
+#include "linearizability/normalize.hpp"
+
+namespace bloom87 {
+
+struct exhaustive_result {
+    bool linearizable{false};
+    std::uint64_t states_explored{0};
+    /// A witness linearization (indices into the normalized ops) when
+    /// linearizable; the point of failure is not reconstructed.
+    std::vector<std::size_t> witness;
+    std::optional<std::string> defect;  ///< malformed input, size limit, ...
+
+    [[nodiscard]] bool ok() const noexcept { return !defect.has_value(); }
+};
+
+/// Checks atomicity of a register history by exhaustive search.
+/// `raw` may contain pending (crashed) operations; see normalize_history.
+[[nodiscard]] exhaustive_result check_exhaustive(const std::vector<operation>& raw,
+                                                 value_t initial);
+
+}  // namespace bloom87

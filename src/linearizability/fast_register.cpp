@@ -1,0 +1,202 @@
+#include "linearizability/fast_register.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "linearizability/normalize.hpp"
+#include "linearizability/spec.hpp"
+
+namespace bloom87 {
+namespace {
+
+// Per-processor operation timeline. A processor is sequential, so both
+// invocation and response positions are strictly increasing down each list.
+struct processor_ops {
+    std::vector<std::size_t> writes;           // all writes, in program order
+    std::vector<std::size_t> complete_writes;  // responded only (resp monotone)
+    std::vector<std::size_t> complete_reads;   // responded only
+};
+
+}  // namespace
+
+fast_check_result check_fast(const std::vector<operation>& raw, value_t initial) {
+    fast_check_result out;
+    normalized_history norm = normalize_history(raw, initial, true);
+    if (!norm.ok()) {
+        out.defect = norm.defect;
+        return out;
+    }
+    const std::vector<operation>& ops = norm.ops;
+
+    // --- node numbering: 0 = virtual initial write, 1.. = real writes ---
+    std::vector<std::size_t> write_ops;          // node-1 -> op index
+    std::map<value_t, std::size_t> node_of_value;  // value -> node
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == op_kind::write) {
+            node_of_value[ops[i].value] = write_ops.size() + 1;
+            write_ops.push_back(i);
+        }
+    }
+    const std::size_t num_nodes = write_ops.size() + 1;
+
+    auto dict_node = [&](const operation& r) -> std::size_t {
+        if (r.value == initial) return 0;
+        return node_of_value.at(r.value);  // normalize guarantees presence
+    };
+
+    // --- local condition: no read from the future ---
+    for (const operation& op : ops) {
+        if (op.kind != op_kind::read) continue;
+        const std::size_t d = dict_node(op);
+        if (d != 0 && op.responded < ops[write_ops[d - 1]].invoked) {
+            out.diagnosis = "read returned a value written only after it finished";
+            return out;
+        }
+    }
+
+    // --- group per processor ---
+    std::map<processor_id, processor_ops> per_proc;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        auto& po = per_proc[ops[i].id.processor];
+        if (ops[i].kind == op_kind::write) po.writes.push_back(i);
+        if (ops[i].complete()) {
+            (ops[i].kind == op_kind::write ? po.complete_writes
+                                           : po.complete_reads).push_back(i);
+        }
+    }
+    for (auto& [proc, po] : per_proc) {
+        auto by_inv = [&](std::size_t a, std::size_t b) {
+            return ops[a].invoked < ops[b].invoked;
+        };
+        std::sort(po.writes.begin(), po.writes.end(), by_inv);
+        std::sort(po.complete_writes.begin(), po.complete_writes.end(), by_inv);
+        std::sort(po.complete_reads.begin(), po.complete_reads.end(), by_inv);
+    }
+
+    // Last write of `po` whose response precedes `x`, or none. Pending
+    // (crashed) writes never respond, so only complete writes qualify --
+    // and over those, responses are monotone in program order.
+    auto last_write_before = [&](const processor_ops& po,
+                                 event_pos x) -> std::optional<std::size_t> {
+        auto it = std::partition_point(
+            po.complete_writes.begin(), po.complete_writes.end(),
+            [&](std::size_t w) { return ops[w].responded < x; });
+        if (it == po.complete_writes.begin()) return std::nullopt;
+        return *(it - 1);
+    };
+    // First write of `po` invoked after `x`, or none.
+    auto first_write_after = [&](const processor_ops& po,
+                                 event_pos x) -> std::optional<std::size_t> {
+        auto it = std::partition_point(
+            po.writes.begin(), po.writes.end(),
+            [&](std::size_t w) { return ops[w].invoked <= x; });
+        if (it == po.writes.end()) return std::nullopt;
+        return *it;
+    };
+    auto last_read_before = [&](const processor_ops& po,
+                                event_pos x) -> std::optional<std::size_t> {
+        auto it = std::partition_point(
+            po.complete_reads.begin(), po.complete_reads.end(),
+            [&](std::size_t r) { return ops[r].responded < x; });
+        if (it == po.complete_reads.begin()) return std::nullopt;
+        return *(it - 1);
+    };
+
+    // --- build the constraint graph ---
+    std::vector<std::vector<std::size_t>> adj(num_nodes);
+    std::vector<std::size_t> indegree(num_nodes, 0);
+    auto add_edge = [&](std::size_t from, std::size_t to) {
+        if (from == to) return;
+        adj[from].push_back(to);
+        ++indegree[to];
+    };
+    for (std::size_t n = 1; n < num_nodes; ++n) add_edge(0, n);  // initial first
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const operation& op = ops[i];
+        if (op.kind == op_kind::write) {
+            const std::size_t wn = node_of_value.at(op.value);
+            for (const auto& [proc, po] : per_proc) {
+                if (auto w1 = last_write_before(po, op.invoked)) {  // (a)
+                    add_edge(node_of_value.at(ops[*w1].value), wn);
+                }
+            }
+        } else {
+            const std::size_t d = dict_node(op);
+            for (const auto& [proc, po] : per_proc) {
+                if (auto wb = last_write_before(po, op.invoked)) {  // (b)
+                    const std::size_t wbn = node_of_value.at(ops[*wb].value);
+                    if (wbn != d) add_edge(wbn, d);
+                }
+                if (auto wc = first_write_after(po, op.responded)) {  // (c)
+                    add_edge(d, node_of_value.at(ops[*wc].value));
+                }
+                if (auto rb = last_read_before(po, op.invoked)) {  // (d)
+                    const std::size_t rbn = dict_node(ops[*rb]);
+                    if (rbn != d) add_edge(rbn, d);
+                }
+            }
+        }
+    }
+
+    // --- topological sort (Kahn) ---
+    std::vector<std::size_t> topo;
+    topo.reserve(num_nodes);
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<>> ready;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (indegree[n] == 0) ready.push(n);
+    }
+    while (!ready.empty()) {
+        const std::size_t n = ready.top();
+        ready.pop();
+        topo.push_back(n);
+        for (std::size_t m : adj[n]) {
+            if (--indegree[m] == 0) ready.push(m);
+        }
+    }
+    if (topo.size() != num_nodes) {
+        out.diagnosis =
+            "cyclic write-order constraints (e.g. an overwritten value reappeared)";
+        return out;
+    }
+
+    // --- construct the witness linearization ---
+    std::vector<std::vector<std::size_t>> reads_of(num_nodes);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == op_kind::read) reads_of[dict_node(ops[i])].push_back(i);
+    }
+    for (auto& rs : reads_of) {
+        std::sort(rs.begin(), rs.end(), [&](std::size_t a, std::size_t b) {
+            return ops[a].invoked < ops[b].invoked;
+        });
+    }
+    std::vector<const operation*> seq;
+    seq.reserve(ops.size());
+    for (std::size_t n : topo) {
+        if (n != 0) seq.push_back(&ops[write_ops[n - 1]]);
+        for (std::size_t r : reads_of[n]) seq.push_back(&ops[r]);
+    }
+
+    // --- re-verify the witness (guards against any gap in the theory) ---
+    if (!satisfies_register_property(seq, initial)) {
+        out.defect = "internal error: witness violates the register property";
+        return out;
+    }
+    event_pos min_resp_suffix = no_event;
+    for (std::size_t k = seq.size(); k-- > 0;) {
+        if (min_resp_suffix < seq[k]->invoked) {
+            out.defect = "internal error: witness violates real-time order";
+            return out;
+        }
+        min_resp_suffix = std::min(min_resp_suffix, seq[k]->responded);
+    }
+
+    out.linearizable = true;
+    out.witness.reserve(seq.size());
+    for (const operation* op : seq) out.witness.push_back(*op);
+    return out;
+}
+
+}  // namespace bloom87

@@ -1,0 +1,59 @@
+#include "linearizability/normalize.hpp"
+
+#include <set>
+
+namespace bloom87 {
+
+normalized_history normalize_history(const std::vector<operation>& raw,
+                                     value_t initial,
+                                     bool require_unique_writes) {
+    normalized_history out;
+    out.initial = initial;
+
+    std::set<value_t> written;
+    std::set<value_t> read_values;
+    for (const operation& op : raw) {
+        if (op.kind == op_kind::write) {
+            const bool fresh = written.insert(op.value).second;
+            if (require_unique_writes) {
+                if (op.value == initial) {
+                    out.defect = "write of the initial value breaks uniqueness";
+                    return out;
+                }
+                if (!fresh) {
+                    out.defect = "duplicate write value; checkers require unique writes";
+                    return out;
+                }
+            }
+        } else if (op.complete()) {
+            read_values.insert(op.value);
+        }
+    }
+
+    for (const operation& op : raw) {
+        if (!op.complete()) {
+            if (op.kind == op_kind::read) continue;  // pending read: drop
+            if (read_values.contains(op.value)) {
+                operation kept = op;  // observed crash-write: must take effect
+                kept.responded = no_event;  // no_event == +infinity in comparisons
+                out.ops.push_back(kept);
+            }
+            continue;  // unobserved crash-write: drop
+        }
+        out.ops.push_back(op);
+    }
+
+    // A read returning a value that no write (kept or dropped) ever wrote,
+    // and that is not the initial value, can never linearize; catch it here
+    // with a clear message instead of a generic checker failure.
+    for (const operation& op : out.ops) {
+        if (op.kind == op_kind::read && op.value != initial &&
+            !written.contains(op.value)) {
+            out.defect = "read returned a value no write produced";
+            return out;
+        }
+    }
+    return out;
+}
+
+}  // namespace bloom87

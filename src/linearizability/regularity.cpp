@@ -1,0 +1,107 @@
+#include "linearizability/regularity.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bloom87 {
+
+regularity_result check_regular_swmr(const std::vector<operation>& ops,
+                                     value_t initial) {
+    regularity_result out;
+
+    std::vector<const operation*> writes;
+    for (const operation& op : ops) {
+        if (op.kind == op_kind::write) writes.push_back(&op);
+    }
+    std::sort(writes.begin(), writes.end(),
+              [](const operation* a, const operation* b) {
+                  return a->invoked < b->invoked;
+              });
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+        if (writes[i]->id.processor != writes[0]->id.processor) {
+            out.regular = false;
+            out.diagnosis = "check_regular_swmr requires a single writer";
+            return out;
+        }
+    }
+
+    for (const operation& op : ops) {
+        if (op.kind != op_kind::read || !op.complete()) continue;
+
+        // Last write that completed before this read began.
+        value_t before = initial;
+        for (const operation* w : writes) {
+            if (w->responded < op.invoked) before = w->value;
+        }
+        if (op.value == before) continue;
+
+        // Otherwise some overlapping write must have produced the value.
+        const bool overlapping_match = std::any_of(
+            writes.begin(), writes.end(), [&](const operation* w) {
+                const bool w_before_r = w->responded < op.invoked;
+                const bool r_before_w = op.responded < w->invoked;
+                return !w_before_r && !r_before_w && w->value == op.value;
+            });
+        if (!overlapping_match) {
+            std::ostringstream oss;
+            oss << "read by proc " << op.id.processor << " op " << op.id.op
+                << " returned " << op.value
+                << ", but the preceding value was " << before
+                << " and no overlapping write wrote it";
+            out.regular = false;
+            out.diagnosis = oss.str();
+            return out;
+        }
+    }
+    return out;
+}
+
+regularity_result check_safe_swmr(const std::vector<operation>& ops,
+                                  value_t initial) {
+    regularity_result out;
+
+    std::vector<const operation*> writes;
+    for (const operation& op : ops) {
+        if (op.kind == op_kind::write) writes.push_back(&op);
+    }
+    std::sort(writes.begin(), writes.end(),
+              [](const operation* a, const operation* b) {
+                  return a->invoked < b->invoked;
+              });
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+        if (writes[i]->id.processor != writes[0]->id.processor) {
+            out.regular = false;
+            out.diagnosis = "check_safe_swmr requires a single writer";
+            return out;
+        }
+    }
+
+    for (const operation& op : ops) {
+        if (op.kind != op_kind::read || !op.complete()) continue;
+
+        const bool overlapped = std::any_of(
+            writes.begin(), writes.end(), [&](const operation* w) {
+                const bool w_before_r = w->responded < op.invoked;
+                const bool r_before_w = op.responded < w->invoked;
+                return !w_before_r && !r_before_w;
+            });
+        if (overlapped) continue;  // anything goes
+
+        value_t before = initial;
+        for (const operation* w : writes) {
+            if (w->responded < op.invoked) before = w->value;
+        }
+        if (op.value != before) {
+            std::ostringstream oss;
+            oss << "non-overlapping read by proc " << op.id.processor << " op "
+                << op.id.op << " returned " << op.value << " instead of "
+                << before;
+            out.regular = false;
+            out.diagnosis = oss.str();
+            return out;
+        }
+    }
+    return out;
+}
+
+}  // namespace bloom87

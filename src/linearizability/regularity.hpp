@@ -1,0 +1,37 @@
+// bloom87: regularity checker for single-writer histories.
+//
+// A single-writer register is REGULAR (Lamport [L2]) when every read returns
+// either the value of the last write that completed before the read began,
+// or the value of some write overlapping the read. With one writer the
+// writes are totally ordered by program order, so the check is direct --
+// no search needed. Used by the model checker to verify the substrate
+// constructions (Lamport's unary register is regular but not atomic; a safe
+// bit becomes regular only under the write-only-changes discipline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "histories/history.hpp"
+
+namespace bloom87 {
+
+struct regularity_result {
+    bool regular{true};
+    std::string diagnosis;
+};
+
+/// Checks single-writer regularity. All writes must come from one processor;
+/// pending operations are handled (pending write = overlaps everything after
+/// its invocation; pending read = ignored).
+[[nodiscard]] regularity_result check_regular_swmr(
+    const std::vector<operation>& ops, value_t initial);
+
+/// Checks single-writer SAFETY (Lamport's weakest level): a read that
+/// overlaps NO write must return the latest completed write's value (or the
+/// initial value); overlapping reads may return anything. Same input
+/// conventions as check_regular_swmr.
+[[nodiscard]] regularity_result check_safe_swmr(
+    const std::vector<operation>& ops, value_t initial);
+
+}  // namespace bloom87

@@ -1,0 +1,32 @@
+// bloom87: the sequential register specification.
+//
+// The "register property" (paper, Section 1): a read returns the value
+// written by the latest preceding write, or the initial value if there is
+// none. Both checkers reduce atomicity to "does some reordering of the
+// operations, consistent with real-time precedence, satisfy this spec".
+#pragma once
+
+#include <vector>
+
+#include "histories/events.hpp"
+#include "histories/history.hpp"
+
+namespace bloom87 {
+
+/// Applies a sequential schedule of operations to the register spec.
+/// Returns true iff every read returns the latest written value (or the
+/// initial value before any write).
+[[nodiscard]] inline bool satisfies_register_property(
+    const std::vector<const operation*>& sequence, value_t initial) {
+    value_t current = initial;
+    for (const operation* op : sequence) {
+        if (op->kind == op_kind::write) {
+            current = op->value;
+        } else if (op->value != current) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace bloom87

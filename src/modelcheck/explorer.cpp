@@ -1,0 +1,198 @@
+#include "modelcheck/explorer.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "linearizability/exhaustive.hpp"
+#include "linearizability/regularity.hpp"
+
+namespace bloom87::mc {
+namespace {
+
+std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
+    // FNV-1a over 64-bit words, then a finalizer. One collision in the
+    // visited set only costs a false prune; verdict memoization uses the
+    // same hash but stores full verdicts keyed by it (collision odds at the
+    // scale of these explorations are negligible).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w : words) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+class dfs_engine {
+public:
+    dfs_engine(const explore_config& cfg) : cfg_(cfg) {}
+
+    void run(const sim_state& s, explore_result& out) {
+        visit(s, out);
+    }
+
+private:
+    void visit(const sim_state& s, explore_result& out) {
+        if (out.truncated) return;
+        if (++out.states_explored > cfg_.max_states) {
+            out.truncated = true;
+            return;
+        }
+        if (cfg_.stop_at_first_violation && !out.property_holds) return;
+
+        fp_.clear();
+        s.fingerprint(fp_);
+        if (!visited_.insert(hash_words(fp_)).second) {
+            ++out.memo_hits;
+            return;
+        }
+
+        // Count the available (process, choice) moves; remember the last.
+        std::size_t single_proc = 0;
+        int total_moves = 0;
+        for (std::size_t p = 0; p < s.procs.size(); ++p) {
+            if (s.procs[p]->done(s)) continue;
+            total_moves += s.procs[p]->fanout(s);
+            single_proc = p;
+        }
+        if (total_moves == 0) {
+            leaf(s, out);
+            return;
+        }
+        if (total_moves == 1) {
+            // Deterministic fast path: run the forced moves on ONE copy
+            // instead of copying per step -- long forced stretches dominate
+            // real explorations.
+            sim_state work(s);
+            for (;;) {
+                work.procs[single_proc]->step(work, 0);
+                if (out.truncated) return;
+                if (++out.states_explored > cfg_.max_states) {
+                    out.truncated = true;
+                    return;
+                }
+                fp_.clear();
+                work.fingerprint(fp_);
+                if (!visited_.insert(hash_words(fp_)).second) {
+                    ++out.memo_hits;
+                    return;
+                }
+                int moves = 0;
+                for (std::size_t p = 0; p < work.procs.size(); ++p) {
+                    if (work.procs[p]->done(work)) continue;
+                    moves += work.procs[p]->fanout(work);
+                    single_proc = p;
+                }
+                if (moves == 0) {
+                    leaf(work, out);
+                    return;
+                }
+                if (moves > 1) break;  // branching resumes below
+            }
+            expand(work, out);
+            return;
+        }
+        expand(s, out);
+    }
+
+    // Branch over every (process, choice) pair of a state already counted
+    // and memoized by visit().
+    void expand(const sim_state& s, explore_result& out) {
+        for (std::size_t p = 0; p < s.procs.size(); ++p) {
+            if (s.procs[p]->done(s)) continue;
+            const int fanout = s.procs[p]->fanout(s);
+            for (int choice = 0; choice < fanout; ++choice) {
+                sim_state next(s);
+                next.procs[p]->step(next, choice);
+                visit(next, out);
+                if (out.truncated) return;
+                if (cfg_.stop_at_first_violation && !out.property_holds) return;
+            }
+        }
+    }
+
+    void leaf(const sim_state& s, explore_result& out) {
+        ++out.leaves;
+        fp_.clear();
+        // History-only fingerprint for verdict memoization.
+        for (const operation& o : s.hist) {
+            fp_.push_back((static_cast<std::uint64_t>(
+                               static_cast<std::uint16_t>(o.id.processor))
+                           << 40) |
+                          (static_cast<std::uint64_t>(o.id.op) << 8) |
+                          static_cast<std::uint64_t>(o.kind));
+            fp_.push_back(static_cast<std::uint64_t>(o.value));
+            fp_.push_back(o.invoked);
+            fp_.push_back(o.responded);
+        }
+        const std::uint64_t h = hash_words(fp_);
+        if (!checked_histories_.insert(h).second) return;
+        ++out.distinct_histories;
+
+        std::string diagnosis;
+        bool ok = true;
+        if (cfg_.prop == property::atomic) {
+            const exhaustive_result res = check_exhaustive(s.hist, cfg_.initial);
+            if (!res.ok()) {
+                ok = false;
+                diagnosis = "checker defect: " + *res.defect;
+            } else if (!res.linearizable) {
+                ok = false;
+                diagnosis = "history is not linearizable";
+            }
+        } else if (cfg_.prop == property::regular_swmr) {
+            const regularity_result res = check_regular_swmr(s.hist, cfg_.initial);
+            if (!res.regular) {
+                ok = false;
+                diagnosis = res.diagnosis;
+            }
+        } else {
+            const regularity_result res = check_safe_swmr(s.hist, cfg_.initial);
+            if (!res.regular) {
+                ok = false;
+                diagnosis = res.diagnosis;
+            }
+        }
+        if (!ok) {
+            ++out.violations;
+            out.property_holds = false;
+            if (!out.first_violation.has_value()) {
+                out.first_violation = violation{s.hist, std::move(diagnosis)};
+            }
+        }
+    }
+
+    const explore_config& cfg_;
+    std::unordered_set<std::uint64_t> visited_;
+    std::unordered_set<std::uint64_t> checked_histories_;
+    std::vector<std::uint64_t> fp_;
+};
+
+}  // namespace
+
+explore_result explore(const sim_state& initial_state, const explore_config& cfg) {
+    explore_result out;
+    dfs_engine engine(cfg);
+    engine.run(initial_state, out);
+    return out;
+}
+
+std::string format_operations(const std::vector<operation>& ops) {
+    std::ostringstream oss;
+    for (const operation& op : ops) {
+        oss << "proc " << op.id.processor << " "
+            << (op.kind == op_kind::write ? "write(" : "read(") << op.value
+            << ") [" << op.invoked << ", ";
+        if (op.complete()) {
+            oss << op.responded;
+        } else {
+            oss << "pending";
+        }
+        oss << ")\n";
+    }
+    return oss.str();
+}
+
+}  // namespace bloom87::mc

@@ -1,0 +1,57 @@
+// bloom87: exhaustive bounded interleaving exploration.
+//
+// Depth-first search over every schedule (and every nondeterministic
+// safe/regular read outcome) of a sim_state. Interior states are memoized by
+// a structural fingerprint -- confluent interleavings that produce the same
+// memory, process, and history state are explored once. Each complete
+// execution's external history is checked against the requested property
+// (atomicity via the exhaustive checker, or single-writer regularity);
+// verdicts are memoized per distinct history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "histories/history.hpp"
+#include "modelcheck/sim.hpp"
+
+namespace bloom87::mc {
+
+enum class property : std::uint8_t { atomic, regular_swmr, safe_swmr };
+
+struct explore_config {
+    property prop{property::atomic};
+    value_t initial{0};
+    /// Safety valve; exploration reports truncated=true when hit.
+    std::uint64_t max_states{20'000'000};
+    /// Stop at the first property violation (else count them all).
+    bool stop_at_first_violation{true};
+};
+
+struct violation {
+    std::vector<operation> hist;
+    std::string diagnosis;
+};
+
+struct explore_result {
+    std::uint64_t states_explored{0};
+    std::uint64_t memo_hits{0};
+    std::uint64_t leaves{0};
+    std::uint64_t distinct_histories{0};
+    std::uint64_t violations{0};
+    bool property_holds{true};
+    bool truncated{false};
+    std::optional<violation> first_violation;
+};
+
+/// Explores all executions of `initial_state`. The state's processes define
+/// the protocol; the registers define the memory model.
+[[nodiscard]] explore_result explore(const sim_state& initial_state,
+                                     const explore_config& cfg);
+
+/// Renders an operation list for diagnostics ("proc 0 write(3) [4,9)" ...).
+[[nodiscard]] std::string format_operations(const std::vector<operation>& ops);
+
+}  // namespace bloom87::mc

@@ -1,0 +1,138 @@
+#include "modelcheck/sim.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace bloom87::mc {
+namespace {
+
+std::uint64_t full_mask(mc_value domain) {
+    return domain >= 64 ? ~0ULL : ((1ULL << domain) - 1);
+}
+
+}  // namespace
+
+sim_state::sim_state(const sim_state& other)
+    : registers(other.registers), hist(other.hist), clock_(other.clock_) {
+    procs.reserve(other.procs.size());
+    for (const auto& p : other.procs) procs.push_back(p->clone());
+}
+
+mc_value sim_state::read_atomic(std::size_t reg) {
+    mc_register& r = registers[reg];
+    assert(r.level == reg_level::atomic);
+    return r.committed;
+}
+
+void sim_state::write_atomic(std::size_t reg, mc_value v) {
+    mc_register& r = registers[reg];
+    assert(r.level == reg_level::atomic);
+    assert(v >= 0 && v < r.domain);
+    r.committed = v;
+}
+
+void sim_state::begin_read(std::size_t reg, std::int16_t proc) {
+    mc_register& r = registers[reg];
+    assert(r.level != reg_level::atomic);
+    std::uint64_t candidates = 1ULL << r.committed;
+    if (r.active_write >= 0) {
+        candidates = r.level == reg_level::safe ? full_mask(r.domain)
+                                                : candidates | (1ULL << r.active_write);
+    }
+    r.active_reads.emplace_back(proc, candidates);
+}
+
+int sim_state::read_candidates(std::size_t reg, std::int16_t proc) const {
+    const mc_register& r = registers[reg];
+    for (const auto& [p, mask] : r.active_reads) {
+        if (p == proc) return std::popcount(mask);
+    }
+    assert(false && "read_candidates without begin_read");
+    return 0;
+}
+
+mc_value sim_state::end_read(std::size_t reg, std::int16_t proc, int choice) {
+    mc_register& r = registers[reg];
+    auto it = std::find_if(r.active_reads.begin(), r.active_reads.end(),
+                           [&](const auto& pr) { return pr.first == proc; });
+    assert(it != r.active_reads.end());
+    std::uint64_t mask = it->second;
+    r.active_reads.erase(it);
+    // The choice-th set bit, ascending.
+    for (int bit = 0; bit < 64; ++bit) {
+        if ((mask >> bit) & 1ULL) {
+            if (choice == 0) return static_cast<mc_value>(bit);
+            --choice;
+        }
+    }
+    assert(false && "end_read choice out of range");
+    return 0;
+}
+
+void sim_state::begin_write(std::size_t reg, mc_value v) {
+    mc_register& r = registers[reg];
+    assert(r.level != reg_level::atomic);
+    assert(r.active_write < 0 && "concurrent writers on a single-writer register");
+    assert(v >= 0 && v < r.domain);
+    r.active_write = v;
+    // The new write overlaps every read in progress.
+    for (auto& [p, mask] : r.active_reads) {
+        mask = r.level == reg_level::safe ? full_mask(r.domain)
+                                          : mask | (1ULL << v);
+    }
+}
+
+void sim_state::end_write(std::size_t reg) {
+    mc_register& r = registers[reg];
+    assert(r.active_write >= 0);
+    r.committed = r.active_write;
+    r.active_write = -1;
+}
+
+std::size_t sim_state::begin_op(processor_id proc, op_index op, op_kind kind,
+                                value_t v) {
+    operation o;
+    o.id = op_id{proc, op};
+    o.kind = kind;
+    o.value = v;
+    o.invoked = clock_++;
+    hist.push_back(o);
+    return hist.size() - 1;
+}
+
+void sim_state::end_op(std::size_t hist_index, value_t read_result) {
+    operation& o = hist[hist_index];
+    if (o.kind == op_kind::read) o.value = read_result;
+    o.responded = clock_++;
+}
+
+void sim_state::fingerprint(std::vector<std::uint64_t>& out) const {
+    out.push_back(registers.size());
+    for (const mc_register& r : registers) {
+        out.push_back((static_cast<std::uint64_t>(r.committed) << 32) |
+                      (static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+                           r.active_write))
+                       << 8) |
+                      static_cast<std::uint64_t>(r.level));
+        out.push_back(r.active_reads.size());
+        for (const auto& [p, mask] : r.active_reads) {
+            out.push_back((static_cast<std::uint64_t>(static_cast<std::uint16_t>(p))
+                           << 48) ^
+                          mask);
+        }
+    }
+    out.push_back(hist.size());
+    for (const operation& o : hist) {
+        out.push_back((static_cast<std::uint64_t>(
+                           static_cast<std::uint16_t>(o.id.processor))
+                       << 40) |
+                      (static_cast<std::uint64_t>(o.id.op) << 8) |
+                      static_cast<std::uint64_t>(o.kind));
+        out.push_back(static_cast<std::uint64_t>(o.value));
+        out.push_back(o.invoked);
+        out.push_back(o.responded);
+    }
+    for (const auto& p : procs) p->fingerprint(out);
+}
+
+}  // namespace bloom87::mc

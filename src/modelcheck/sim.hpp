@@ -1,0 +1,117 @@
+// bloom87: simulated shared memory for bounded model checking.
+//
+// The model checker runs protocol processes over *simulated* base registers
+// whose consistency level is explicit -- SAFE, REGULAR, or ATOMIC in
+// Lamport's hierarchy -- and explores every interleaving up to a bound.
+// This is how the repository re-verifies, mechanically, the claims the paper
+// makes by hand-proof:
+//
+//   * Bloom's protocol over atomic base registers is atomic on every
+//     schedule (Sections 5-7);
+//   * the tournament extension to four writers is NOT (Section 8);
+//   * the substrate algorithms (Simpson's four-slot over safe/regular
+//     slots, Lamport's constructions) provide exactly the level they claim.
+//
+// Register semantics: an ATOMIC access is a single indivisible step (for
+// atomic registers this loses no generality: the access touches shared
+// state at one instant, and the scheduler can place that instant anywhere
+// relative to other processes). SAFE and REGULAR accesses are split into
+// begin/end steps so that overlap is observable; a read's result is chosen
+// nondeterministically at its end step from the candidate set its overlaps
+// permit -- the explorer branches over every candidate:
+//
+//   REGULAR read: {last value committed before the read began} union
+//                 {values of all writes overlapping the read}
+//   SAFE read:    committed value if no write overlapped, else ANY value
+//                 of the register's domain.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "histories/events.hpp"
+#include "histories/history.hpp"
+
+namespace bloom87::mc {
+
+enum class reg_level : std::uint8_t { safe, regular, atomic };
+
+/// Values in the simulated memory are small integers; tagged pairs are
+/// encoded as value*2+tag by the protocol processes.
+using mc_value = std::int16_t;
+
+/// One simulated base register.
+struct mc_register {
+    reg_level level{reg_level::atomic};
+    mc_value domain{2};     ///< legal values are 0..domain-1 (safe flicker set)
+    mc_value committed{0};
+    mc_value active_write{-1};  ///< value being written, -1 when no write active
+
+    /// Reads in progress: (processor, candidate bitmask). domain <= 64.
+    std::vector<std::pair<std::int16_t, std::uint64_t>> active_reads;
+};
+
+class process;
+
+/// The full model-checker state: registers, processes, and the external
+/// history accumulated so far. Copyable (deep) for DFS.
+class sim_state {
+public:
+    sim_state() = default;
+    sim_state(const sim_state& other);
+    sim_state& operator=(const sim_state&) = delete;
+    sim_state(sim_state&&) = default;
+    sim_state& operator=(sim_state&&) = default;
+
+    std::vector<mc_register> registers;
+    std::vector<std::unique_ptr<process>> procs;
+
+    /// External history: completed and open simulated operations.
+    std::vector<operation> hist;
+
+    /// --- register access API used by processes ---
+
+    /// Atomic single-step read/write (register must be level atomic).
+    [[nodiscard]] mc_value read_atomic(std::size_t reg);
+    void write_atomic(std::size_t reg, mc_value v);
+
+    /// Split-phase access for safe/regular registers.
+    void begin_read(std::size_t reg, std::int16_t proc);
+    /// Number of values the pending read may return (the explorer's fanout).
+    [[nodiscard]] int read_candidates(std::size_t reg, std::int16_t proc) const;
+    /// Completes the read, returning the choice-th candidate (ascending).
+    mc_value end_read(std::size_t reg, std::int16_t proc, int choice);
+    void begin_write(std::size_t reg, mc_value v);
+    void end_write(std::size_t reg);
+
+    /// --- external-history hooks ---
+    /// Opens a simulated operation; returns its index in hist.
+    std::size_t begin_op(processor_id proc, op_index op, op_kind kind, value_t v);
+    /// Closes it (reads pass their returned value).
+    void end_op(std::size_t hist_index, value_t read_result);
+
+    /// Deterministic structural fingerprint for memoization.
+    void fingerprint(std::vector<std::uint64_t>& out) const;
+
+    /// Monotone event counter giving inv/resp positions.
+    [[nodiscard]] event_pos now() const noexcept { return clock_; }
+
+private:
+    event_pos clock_{0};
+};
+
+/// A protocol process: a small-step state machine over a sim_state.
+class process {
+public:
+    virtual ~process() = default;
+    [[nodiscard]] virtual std::unique_ptr<process> clone() const = 0;
+    [[nodiscard]] virtual bool done(const sim_state&) const = 0;
+    /// Number of nondeterministic outcomes of the next step (>= 1).
+    [[nodiscard]] virtual int fanout(const sim_state&) const = 0;
+    virtual void step(sim_state&, int choice) = 0;
+    virtual void fingerprint(std::vector<std::uint64_t>&) const = 0;
+};
+
+}  // namespace bloom87::mc

@@ -1,0 +1,53 @@
+// bloom87: register interface concepts.
+//
+// Terminology (Lamport [L2], paper Section 1):
+//
+//  * SAFE    - a read not overlapping any write returns the latest written
+//              value; a read overlapping a write may return ANY legal value.
+//  * REGULAR - a read returns the latest value written before it started, or
+//              the value of some overlapping write.
+//  * ATOMIC  - all reads and writes behave as if they happened at a single
+//              instant each (linearizable).
+//
+// Bloom's construction consumes two 1-writer (n+1)-reader ATOMIC registers.
+// We express "a register you can read and write" as a concept; which
+// consistency level an implementation actually provides is part of its
+// documented contract (and is what the model-checking tests verify).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "histories/events.hpp"
+#include "registers/tagged.hpp"
+
+namespace bloom87 {
+
+/// Identifies who is performing a register access. Recording substrates put
+/// this into the event log; plain substrates ignore it.
+struct access_context {
+    processor_id processor{0};
+    op_index op{0};
+};
+
+/// A single-writer multi-reader register holding values of type V.
+///
+/// Contract expected by the core protocol:
+///  * write() is called by exactly one thread (the owning writer), reads may
+///    come from any thread;
+///  * the register is ATOMIC in Lamport's sense;
+///  * both operations are bounded wait-free, or document otherwise
+///    (seqlock readers retry only while a write is in flight).
+template <typename R, typename V>
+concept swmr_register = requires(R r, V v, access_context ctx) {
+    { r.read(ctx) } -> std::same_as<V>;
+    { r.write(v, ctx) } -> std::same_as<void>;
+};
+
+/// A substrate usable by the two-writer construction: an SWMR atomic
+/// register over tagged<T>, constructible from an initial tagged value.
+template <typename R, typename T>
+concept tagged_substrate =
+    swmr_register<R, tagged<T>> && std::constructible_from<R, tagged<T>>;
+
+}  // namespace bloom87

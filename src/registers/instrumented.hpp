@@ -1,0 +1,66 @@
+// bloom87: counting wrapper around any substrate register.
+//
+// Reproduces the paper's Section 5 cost accounting: a simulated write is one
+// real read plus one real write; a simulated read is three real reads (one
+// or two for a caching writer). bench_access_counts wraps the substrates in
+// this and prints the measured table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "registers/concepts.hpp"
+
+namespace bloom87 {
+
+/// Per-register access counters. Shared accesses are the paper's cost unit.
+struct access_counts {
+    std::uint64_t reads{0};
+    std::uint64_t writes{0};
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return reads + writes; }
+
+    friend access_counts operator+(access_counts a, access_counts b) noexcept {
+        return {a.reads + b.reads, a.writes + b.writes};
+    }
+};
+
+/// Wraps a substrate register, counting every real read and write.
+template <typename Inner>
+class instrumented_register {
+public:
+    template <typename... Args>
+    explicit instrumented_register(Args&&... args)
+        : inner_(std::forward<Args>(args)...) {}
+
+    [[nodiscard]] auto read(access_context ctx = {}) {
+        reads_.fetch_add(1, std::memory_order_relaxed);
+        return inner_.read(ctx);
+    }
+
+    template <typename V>
+    void write(V v, access_context ctx = {}) {
+        writes_.fetch_add(1, std::memory_order_relaxed);
+        inner_.write(v, ctx);
+    }
+
+    [[nodiscard]] access_counts counts() const noexcept {
+        return {reads_.load(std::memory_order_relaxed),
+                writes_.load(std::memory_order_relaxed)};
+    }
+
+    void reset_counts() noexcept {
+        reads_.store(0, std::memory_order_relaxed);
+        writes_.store(0, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] Inner& inner() noexcept { return inner_; }
+
+private:
+    Inner inner_;
+    std::atomic<std::uint64_t> reads_{0};
+    std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace bloom87

@@ -1,0 +1,49 @@
+// bloom87: lock-free SWMR atomic register for small value types.
+//
+// When T (plus the tag bit) fits in a 64-bit word, a single std::atomic
+// word IS a 1-writer n-reader atomic register -- in fact the hardware gives
+// the stronger multi-writer guarantee; we only rely on the weaker contract.
+// Both operations are a single wait-free instruction. This is the default
+// production substrate.
+//
+// Following CP.100/CP.101 of the C++ Core Guidelines, we stay on
+// memory_order_seq_cst: the protocol's proof assumes a single total order of
+// real-register *-actions, and seq_cst is the memory model's way of
+// providing exactly that across the two registers.
+#pragma once
+
+#include <atomic>
+
+#include "registers/concepts.hpp"
+#include "util/bits.hpp"
+#include "util/sync.hpp"
+
+namespace bloom87 {
+
+/// SWMR atomic register over tagged<T> backed by one atomic 64-bit word.
+template <word_packable T>
+class packed_atomic_register {
+public:
+    explicit packed_atomic_register(tagged<T> initial) noexcept
+        : word_(pack_tagged(initial.value, initial.tag)) {}
+
+    /// Wait-free atomic read; any thread.
+    [[nodiscard]] tagged<T> read(access_context = {}) noexcept {
+        const std::uint64_t w = word_.load(std::memory_order_seq_cst);
+        return {unpack_value<T>(w), unpack_tag(w)};
+    }
+
+    /// Wait-free atomic write; owning writer only.
+    void write(tagged<T> v, access_context = {}) noexcept {
+        word_.store(pack_tagged(v.value, v.tag), std::memory_order_seq_cst);
+    }
+
+private:
+    // Own cache line: the two real registers of one simulated register are
+    // written by different processors and must not false-share.
+    alignas(cacheline_size) std::atomic<std::uint64_t> word_;
+};
+
+static_assert(tagged_substrate<packed_atomic_register<std::int32_t>, std::int32_t>);
+
+}  // namespace bloom87

@@ -1,0 +1,26 @@
+// bloom87: plain (unsynchronized) register.
+//
+// Used wherever accesses are already serialized by construction: inside the
+// recording register's critical section, in single-threaded scenario drivers,
+// and as the backing store of the model checker's simulated registers.
+// NOT thread-safe on its own.
+#pragma once
+
+#include "registers/concepts.hpp"
+
+namespace bloom87 {
+
+/// Trivial register; caller must serialize accesses externally.
+template <typename V>
+class plain_register {
+public:
+    explicit plain_register(V initial) : value_(initial) {}
+
+    [[nodiscard]] V read(access_context = {}) const noexcept { return value_; }
+    void write(V v, access_context = {}) noexcept { value_ = v; }
+
+private:
+    V value_;
+};
+
+}  // namespace bloom87

@@ -1,0 +1,91 @@
+// bloom87: SWMR atomic register for values of arbitrary size (seqlock).
+//
+// For value types too large for one atomic word, the single writer bumps a
+// sequence number around each write; readers retry while they observe an odd
+// sequence or a sequence change. The writer is wait-free; a reader retries
+// only while a write is physically in progress, so reader progress is
+// guaranteed as long as the writer takes bounded steps (the paper's model
+// gives every processor bounded-speed steps in fair executions).
+//
+// The payload is stored as relaxed atomic words (not a raw struct) so that
+// the concurrent reader/writer accesses are race-free under the C++ memory
+// model; the seqlock protocol, not the per-word atomics, provides the
+// consistency. Linearization: a successful read linearizes at its second
+// sequence load; the observed write is unique because the writer is single.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "registers/concepts.hpp"
+#include "util/sync.hpp"
+
+namespace bloom87 {
+
+/// SWMR atomic register over tagged<T> for trivially copyable T of any size.
+template <typename T>
+    requires std::is_trivially_copyable_v<T>
+class seqlock_register {
+public:
+    explicit seqlock_register(tagged<T> initial) noexcept { store_words(initial); }
+
+    /// Atomic read; retries while a write is in flight. Any thread.
+    [[nodiscard]] tagged<T> read(access_context = {}) noexcept {
+        for (;;) {
+            const std::uint64_t before = seq_.load(std::memory_order_acquire);
+            if ((before & 1U) == 0) {
+                std::array<std::uint64_t, word_count> snapshot;
+                for (std::size_t i = 0; i < word_count; ++i) {
+                    snapshot[i] = words_[i].load(std::memory_order_relaxed);
+                }
+                std::atomic_thread_fence(std::memory_order_acquire);
+                const std::uint64_t after = seq_.load(std::memory_order_relaxed);
+                if (before == after) {
+                    tagged<T> out;
+                    std::memcpy(static_cast<void*>(&out), snapshot.data(),
+                                sizeof(tagged<T>));
+                    return out;
+                }
+            }
+            retries_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    /// Wait-free write; owning writer only.
+    void write(tagged<T> v, access_context = {}) noexcept {
+        const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+        seq_.store(s + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        store_words(v);
+        seq_.store(s + 2, std::memory_order_release);
+    }
+
+    /// Total reader retries observed (for the substrate benchmark).
+    [[nodiscard]] std::uint64_t retries() const noexcept {
+        return retries_.load(std::memory_order_relaxed);
+    }
+
+private:
+    static constexpr std::size_t word_count =
+        (sizeof(tagged<T>) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+
+    void store_words(const tagged<T>& v) noexcept {
+        std::array<std::uint64_t, word_count> staging{};
+        std::memcpy(staging.data(), static_cast<const void*>(&v),
+                    sizeof(tagged<T>));
+        for (std::size_t i = 0; i < word_count; ++i) {
+            words_[i].store(staging[i], std::memory_order_relaxed);
+        }
+    }
+
+    alignas(cacheline_size) std::atomic<std::uint64_t> seq_{0};
+    std::array<std::atomic<std::uint64_t>, word_count> words_{};
+    std::atomic<std::uint64_t> retries_{0};
+};
+
+static_assert(tagged_substrate<seqlock_register<std::int64_t>, std::int64_t>);
+
+}  // namespace bloom87

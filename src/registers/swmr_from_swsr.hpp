@@ -1,0 +1,189 @@
+// bloom87: 1-writer n-reader atomic register from 1-writer 1-READER atomic
+// registers.
+//
+// The paper's footnote 3 says its real registers "may be simulated using
+// more primitive regular and safe one-reader, one-writer registers, using
+// protocols from Lamport and others." This file supplies the missing rung
+// of that ladder: the classic multi-reader construction (in the style of
+// Attiya & Welch, ch. 10; the bounded originals are Israeli-Li / Singh-
+// Anderson-Gouda; [BP] in the paper's references treats the non-atomic
+// base case). Combined with Simpson's four-slot register (fourslot.hpp)
+// the repository builds Bloom's substrate from nothing stronger than safe
+// slots and SWSR control bits.
+//
+// Construction, for n readers:
+//   * Value[i]     : SWSR register, writer -> reader i         (n registers)
+//   * Report[j][i] : SWSR register, reader j -> reader i   (n*(n-1) registers)
+//
+//   Writer(v):  seq++; for every i: Value[i] := (v, seq)
+//   Reader i:   collect (v,s) from Value[i] and from Report[j][i] (j != i);
+//               pick the pair with the largest s;
+//               for every j != i: Report[i][j] := that pair;
+//               return its v.
+//
+// The report round is what prevents new-old inversions between readers: a
+// reader hands the freshest value it returned to every other reader before
+// responding, so no later-starting read can return something older.
+// Sequence numbers are unbounded (64-bit -- practically unbounded); the
+// bounded-timestamp variants exist but are far subtler.
+//
+// Costs: write = n SWSR writes; read = n SWSR reads + (n-1) SWSR writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "registers/concepts.hpp"
+#include "registers/fourslot.hpp"
+#include "registers/tagged.hpp"
+
+namespace bloom87 {
+
+/// SWMR atomic register over tagged<T> built from SWSR atomic registers
+/// produced by the SwsrTmpl template (default: Simpson's four-slot).
+/// Fixed reader count; each reader thread uses its own reader_port.
+template <typename T, template <typename> class SwsrTmpl = four_slot_register>
+class swmr_from_swsr {
+    /// What actually travels through the SWSR registers.
+    struct stamped {
+        tagged<T> payload{};
+        std::uint64_t seq{0};  // 0 = the initial value
+    };
+    // The SWSR register types in this repository transport tagged<V>; the
+    // outer tag bit is unused here (the construction has its own seq).
+    using cell = SwsrTmpl<stamped>;
+
+public:
+    class reader_port;
+
+    /// `readers` is the fixed number of read ports (n). The register
+    /// consumes n + n*(n-1) SWSR registers.
+    swmr_from_swsr(tagged<T> initial, std::size_t readers)
+        : readers_(readers) {
+        const tagged<stamped> init{stamped{initial, 0}, false};
+        value_.reserve(readers_);
+        for (std::size_t i = 0; i < readers_; ++i) {
+            value_.push_back(std::make_unique<cell>(init));
+        }
+        report_.reserve(readers_ * readers_);
+        for (std::size_t i = 0; i < readers_ * readers_; ++i) {
+            report_.push_back(std::make_unique<cell>(init));
+        }
+    }
+
+    /// Wait-free write; owning writer only: n SWSR writes.
+    void write(tagged<T> v, access_context = {}) {
+        const tagged<stamped> s{stamped{v, ++seq_}, false};
+        for (auto& c : value_) c->write(s);
+    }
+
+    /// Creates the read port for reader index i in [0, readers).
+    [[nodiscard]] reader_port make_reader_port(std::size_t i) {
+        return reader_port{*this, i};
+    }
+
+    /// One reader's port. Wait-free read: n SWSR reads + (n-1) SWSR writes.
+    class reader_port {
+    public:
+        [[nodiscard]] tagged<T> read(access_context = {}) {
+            // Freshest of: the writer's value for me, and what every other
+            // reader last reported to me.
+            stamped best = owner_->value_[index_]->read().value;
+            for (std::size_t j = 0; j < owner_->readers_; ++j) {
+                if (j == index_) continue;
+                const stamped s = owner_->report_cell(j, index_).read().value;
+                if (s.seq > best.seq) best = s;
+            }
+            // Tell everyone else before returning (the linearization glue).
+            for (std::size_t j = 0; j < owner_->readers_; ++j) {
+                if (j == index_) continue;
+                owner_->report_cell(index_, j).write(tagged<stamped>{best, false});
+            }
+            return best.payload;
+        }
+
+        [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+    private:
+        friend class swmr_from_swsr;
+        reader_port(swmr_from_swsr& owner, std::size_t index)
+            : owner_(&owner), index_(index) {}
+
+        swmr_from_swsr* owner_;
+        std::size_t index_;
+    };
+
+    [[nodiscard]] std::size_t readers() const noexcept { return readers_; }
+
+    /// Number of SWSR registers consumed (for reports/benches).
+    [[nodiscard]] std::size_t swsr_register_count() const noexcept {
+        return value_.size() + readers_ * (readers_ - 1);
+    }
+
+private:
+    [[nodiscard]] cell& report_cell(std::size_t from, std::size_t to) {
+        return *report_[from * readers_ + to];
+    }
+
+    std::size_t readers_;
+    std::uint64_t seq_{0};
+    // Cells are held by unique_ptr because the SWSR registers contain
+    // atomics (immovable); the indirection is irrelevant next to the
+    // register's own cost.
+    std::vector<std::unique_ptr<cell>> value_;
+    std::vector<std::unique_ptr<cell>> report_;
+};
+
+/// Adapts swmr_from_swsr to the two_writer_register substrate interface.
+///
+/// Bloom's construction gives each processor its own channel to each real
+/// register; swmr_from_swsr likewise needs a distinct port per reading
+/// processor. This adapter maps the repository's processor-id convention
+/// onto ports: the OTHER writer gets port 0, simulated reader k (processor
+/// 2+k) gets port k+1. Pass it to two_writer_register through the factory
+/// constructor:
+///
+///   using stack = two_writer_register<int, ported_substrate<int>>;
+///   stack reg(0, [n](tagged<int> init, int reg_index) {
+///       return ported_substrate<int>(init, n, reg_index);
+///   });
+template <typename T, template <typename> class SwsrTmpl = four_slot_register>
+class ported_substrate {
+public:
+    /// `sim_readers` = number of simulated-register readers n; the real
+    /// register gets n+2 read ports -- the other writer (the protocol's
+    /// (n+1)-th reader), the OWN writer (whose simulated reads also touch
+    /// its own register), and the n readers. `reg_index` is which real
+    /// register this is (0 or 1), identifying the writers' processor ids.
+    ported_substrate(tagged<T> initial, std::size_t sim_readers, int reg_index)
+        : inner_(initial, sim_readers + 2), reg_index_(reg_index) {
+        ports_.reserve(sim_readers + 2);
+        for (std::size_t i = 0; i < sim_readers + 2; ++i) {
+            ports_.push_back(inner_.make_reader_port(i));
+        }
+    }
+
+    [[nodiscard]] tagged<T> read(access_context ctx) {
+        return ports_[port_of(ctx.processor)].read();
+    }
+
+    void write(tagged<T> v, access_context = {}) { inner_.write(v); }
+
+    [[nodiscard]] std::size_t swsr_register_count() const noexcept {
+        return inner_.swsr_register_count();
+    }
+
+private:
+    [[nodiscard]] std::size_t port_of(processor_id proc) const {
+        if (proc == static_cast<processor_id>(1 - reg_index_)) return 0;
+        if (proc == static_cast<processor_id>(reg_index_)) return 1;
+        return 2 + static_cast<std::size_t>(proc - 2);
+    }
+
+    swmr_from_swsr<T, SwsrTmpl> inner_;
+    int reg_index_;
+    std::vector<typename swmr_from_swsr<T, SwsrTmpl>::reader_port> ports_;
+};
+
+}  // namespace bloom87

@@ -1,0 +1,21 @@
+// bloom87: the tagged value stored in each real register.
+//
+// Paper, Section 5: "we use registers Reg0 and Reg1 with enough space to
+// hold one value in Val and a single tag bit." This is that pair. The whole
+// protocol correctness rests on the (value, tag) pair being written by ONE
+// atomic real write, so substrates must store a tagged<T> indivisibly.
+#pragma once
+
+#include <compare>
+
+namespace bloom87 {
+
+template <typename T>
+struct tagged {
+    T value{};
+    bool tag{false};
+
+    friend constexpr bool operator==(const tagged&, const tagged&) = default;
+};
+
+}  // namespace bloom87

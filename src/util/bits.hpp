@@ -1,0 +1,64 @@
+// bloom87: bit-level packing helpers.
+//
+// Bloom's protocol stores a (tag-bit, value) pair that must be written with a
+// single atomic store when the substrate is a hardware word. These helpers
+// pack small trivially-copyable values together with a tag bit into one
+// 64-bit word, and check at compile time that the value actually fits.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace bloom87 {
+
+/// True when T can be round-tripped through a 64-bit word alongside a tag bit
+/// (i.e. fits in 63 value bits when it is <= 7 bytes, or exactly uses
+/// bit_cast when it is an 8-byte type -- then the tag needs its own word and
+/// packing is not available).
+template <typename T>
+concept word_packable =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= 7 && std::is_object_v<T>;
+
+/// Packs `value` into the low bits and `tag` into bit 63 of a 64-bit word.
+template <word_packable T>
+constexpr std::uint64_t pack_tagged(T value, bool tag) noexcept {
+    std::uint64_t word = 0;
+    // memcpy (not bit_cast) because sizeof(T) may be < 8.
+    if (std::is_constant_evaluated()) {
+        // Constant evaluation path only supports integral T.
+        if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+            word = static_cast<std::uint64_t>(
+                static_cast<std::make_unsigned_t<T>>(value));
+        }
+    } else {
+        std::memcpy(&word, &value, sizeof(T));
+    }
+    if (tag) word |= (1ULL << 63);
+    return word;
+}
+
+/// Inverse of pack_tagged: extracts the value.
+template <word_packable T>
+constexpr T unpack_value(std::uint64_t word) noexcept {
+    word &= ~(1ULL << 63);
+    if (std::is_constant_evaluated()) {
+        if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+            return static_cast<T>(word);
+        }
+    }
+    T value{};
+    std::memcpy(&value, &word, sizeof(T));
+    return value;
+}
+
+/// Inverse of pack_tagged: extracts the tag bit.
+constexpr bool unpack_tag(std::uint64_t word) noexcept {
+    return (word >> 63) != 0;
+}
+
+/// Exclusive-or of two boolean "tag bits"; the paper's mod-2 sum.
+constexpr bool tag_xor(bool a, bool b) noexcept { return a != b; }
+
+}  // namespace bloom87

@@ -1,0 +1,108 @@
+// bloom87: deterministic pseudo-random number generation.
+//
+// All randomized tests and workload generators in this repository draw from
+// xoshiro256**, seeded via splitmix64, so that every run is reproducible from
+// a single 64-bit seed. <random> engines are avoided in hot paths because
+// their exact output is not specified identically across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace bloom87 {
+
+/// splitmix64 step; used to expand a single seed into a full xoshiro state.
+/// Passes through every 64-bit value exactly once over its period.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions where exact reproducibility is not required.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+    explicit constexpr rng(std::uint64_t seed = 0xb10037'1987ULL) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64_next(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /// Next 64 uniformly random bits.
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound == 0 returns 0.
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+        if (bound == 0) return 0;
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in the closed range [lo, hi].
+    constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /// Bernoulli trial: true with probability num/den.
+    constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+        return below(den) < num;
+    }
+
+    /// Fisher-Yates shuffle of a random-access container.
+    template <typename Container>
+    constexpr void shuffle(Container& c) noexcept {
+        const auto n = static_cast<std::uint64_t>(c.size());
+        for (std::uint64_t i = n; i > 1; --i) {
+            const auto j = below(i);
+            using std::swap;
+            swap(c[static_cast<std::size_t>(i - 1)], c[static_cast<std::size_t>(j)]);
+        }
+    }
+
+    /// Derives an independent child generator (for per-thread streams).
+    constexpr rng split() noexcept { return rng((*this)()); }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bloom87

@@ -1,0 +1,84 @@
+// bloom87: small synchronization helpers for tests and benchmarks.
+//
+// These are *harness* utilities only. The register protocols themselves never
+// block; barriers and latches here are used to line threads up at the start
+// of stress tests so that contention windows actually overlap.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <thread>
+
+namespace bloom87 {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size: the
+// standard constant varies with tuning flags (GCC warns when it leaks into
+// ABIs), and 64 is correct for every platform this repository targets.
+inline constexpr std::size_t cacheline_size = 64;
+
+/// Pads T to its own cache line to prevent false sharing between the per-slot
+/// state of different processors in stress harnesses.
+template <typename T>
+struct alignas(cacheline_size) padded {
+    T value{};
+};
+
+/// Sense-reversing spin barrier. Reusable across rounds; wait-free except for
+/// the spin itself (appropriate for short test rendezvous, not production).
+class spin_barrier {
+public:
+    explicit spin_barrier(std::size_t parties) noexcept
+        : parties_(parties), remaining_(parties) {}
+
+    spin_barrier(const spin_barrier&) = delete;
+    spin_barrier& operator=(const spin_barrier&) = delete;
+
+    /// Blocks (spinning) until all parties arrive.
+    void arrive_and_wait() noexcept {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            remaining_.store(parties_, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            while (sense_.load(std::memory_order_acquire) != my_sense) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+private:
+    const std::size_t parties_;
+    std::atomic<std::size_t> remaining_;
+    std::atomic<bool> sense_{false};
+};
+
+/// One-shot start gate: workers spin in wait(); the coordinator calls open().
+class start_gate {
+public:
+    void open() noexcept { open_.store(true, std::memory_order_release); }
+
+    void wait() const noexcept {
+        while (!open_.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+        }
+    }
+
+private:
+    std::atomic<bool> open_{false};
+};
+
+/// Cooperative stop flag for duration-bounded stress loops.
+class stop_flag {
+public:
+    void request_stop() noexcept { stop_.store(true, std::memory_order_release); }
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+private:
+    std::atomic<bool> stop_{false};
+};
+
+}  // namespace bloom87

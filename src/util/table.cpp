@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace bloom87 {
+
+void table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& r : rows_) {
+        for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+            widths[i] = std::max(widths[i], r[i].size());
+        }
+    }
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+            os << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    emit(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        os << "|" << std::string(widths[i] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& r : rows_) emit(r);
+}
+
+std::string table::to_string() const {
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string fixed(double value, int digits) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << value;
+    return oss.str();
+}
+
+std::string with_commas(std::uint64_t value) {
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    std::size_t seen = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (seen != 0 && seen % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++seen;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void print_banner(std::ostream& os, std::string_view experiment_id,
+                  std::string_view title) {
+    os << "\n================================================================\n"
+       << "[" << experiment_id << "] " << title << "\n"
+       << "================================================================\n";
+}
+
+}  // namespace bloom87

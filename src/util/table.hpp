@@ -1,0 +1,51 @@
+// bloom87: plain-text table rendering for bench report binaries.
+//
+// Every bench target regenerates a figure or table from the paper (or an
+// extra measurement table); they all print through this one formatter so the
+// reports in EXPERIMENTS.md have a uniform shape.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bloom87 {
+
+/// Column-aligned ASCII table builder.
+///
+///     table t({"Processor", "Action", "Reg0", "Reg1", "Value"});
+///     t.row({"initial", "-", "'a',0", "'b',0", "'a'"});
+///     t.print(std::cout);
+class table {
+public:
+    explicit table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    /// Appends one row; short rows are padded with empty cells.
+    void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the table with a separator line under the header.
+    void print(std::ostream& os) const;
+
+    /// Renders to a string (for golden-output tests).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench rows).
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Prints a section banner used by all report binaries.
+void print_banner(std::ostream& os, std::string_view experiment_id,
+                  std::string_view title);
+
+}  // namespace bloom87

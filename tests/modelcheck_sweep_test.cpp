@@ -1,0 +1,139 @@
+// Randomized configuration sweeps for the model checker: many random small
+// protocol configurations, every one explored exhaustively. Broadens the
+// bound coverage beyond the hand-picked configurations in modelcheck_test.
+#include <gtest/gtest.h>
+
+#include "modelcheck/explorer.hpp"
+#include "modelcheck/processes.hpp"
+#include "util/rng.hpp"
+
+namespace bloom87::mc {
+namespace {
+
+mc_register atomic_reg(mc_value domain, mc_value committed = 0) {
+    mc_register r;
+    r.level = reg_level::atomic;
+    r.domain = domain;
+    r.committed = committed;
+    return r;
+}
+
+class BloomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BloomSweep, RandomScriptsAllAtomic) {
+    rng gen(GetParam() * 131 + 17);
+    // Random split of a small op budget between the writers and readers.
+    const int w0_writes = 1 + static_cast<int>(gen.below(2));
+    const int w1_writes = 1 + static_cast<int>(gen.below(2));
+    const int readers = 1 + static_cast<int>(gen.below(2));
+    const int reads_each = 1 + static_cast<int>(gen.below(2));
+    // Keep the largest configurations out (state budget; the hand-picked
+    // configurations in modelcheck_test already cover the big bounds).
+    const int budget = w0_writes + w1_writes + readers * reads_each;
+    if (budget > 4) {
+        GTEST_SKIP() << "config too large for the sweep budget";
+    }
+
+    sim_state s;
+    const auto domain =
+        static_cast<mc_value>((w0_writes + w1_writes + 1) * 2);
+    s.registers.push_back(atomic_reg(domain));
+    s.registers.push_back(atomic_reg(domain));
+    std::vector<mc_value> s0, s1;
+    mc_value v = 1;
+    for (int i = 0; i < w0_writes; ++i) s0.push_back(v++);
+    for (int i = 0; i < w1_writes; ++i) s1.push_back(v++);
+    s.procs.push_back(make_bloom_writer(0, s0));
+    s.procs.push_back(make_bloom_writer(1, s1));
+    for (int r = 0; r < readers; ++r) {
+        // Mix standard and reversed readers randomly -- both are correct.
+        if (gen.chance(1, 2)) {
+            s.procs.push_back(make_bloom_reader(
+                static_cast<processor_id>(2 + r), reads_each));
+        } else {
+            s.procs.push_back(make_bloom_reader_reversed(
+                static_cast<processor_id>(2 + r), reads_each));
+        }
+    }
+
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << "w0=" << w0_writes << " w1=" << w1_writes << " readers=" << readers
+        << "x" << reads_each << "\n"
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BloomSweep,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+class VaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VaSweep, RandomWriterCountsAllAtomic) {
+    rng gen(GetParam() * 733 + 3);
+    const int writers = 2 + static_cast<int>(gen.below(2));  // 2..3
+    const int total_writes = writers;  // one write each
+    constexpr mc_value vdom = 6;
+    const auto domain =
+        static_cast<mc_value>((total_writes + 1) * writers * vdom);
+
+    sim_state s;
+    for (int i = 0; i < writers; ++i) s.registers.push_back(atomic_reg(domain));
+    for (int w = 0; w < writers; ++w) {
+        s.procs.push_back(
+            make_va_writer(0, writers, w, {static_cast<mc_value>(w + 1)}, vdom));
+    }
+    s.procs.push_back(make_va_reader(0, writers, 8,
+                                     1 + static_cast<int>(gen.below(2)), vdom));
+
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << writers << " writers\n"
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VaSweep, ::testing::Range<std::uint64_t>(0, 6));
+
+class FourSlotSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FourSlotSweep, RandomScriptsAtomicWithAtomicControlBits) {
+    rng gen(GetParam() * 31 + 9);
+    const int writes = 1 + static_cast<int>(gen.below(2));
+    const int reads = 1 + static_cast<int>(gen.below(2));
+
+    sim_state s;
+    for (int i = 0; i < 4; ++i) {
+        mc_register r;
+        r.level = reg_level::safe;
+        r.domain = static_cast<mc_value>(writes + 1);
+        s.registers.push_back(r);
+    }
+    for (int i = 0; i < 4; ++i) {
+        mc_register r;
+        r.level = reg_level::atomic;
+        r.domain = 2;
+        s.registers.push_back(r);
+    }
+    std::vector<mc_value> script;
+    for (int i = 1; i <= writes; ++i) script.push_back(static_cast<mc_value>(i));
+    s.procs.push_back(make_fourslot_writer(0, script));
+    s.procs.push_back(make_fourslot_reader(0, 1, reads));
+
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << writes << " writes, " << reads << " reads\n"
+        << res.first_violation->diagnosis;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourSlotSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace bloom87::mc

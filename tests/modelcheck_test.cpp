@@ -1,0 +1,527 @@
+// Bounded exhaustive verification (src/modelcheck): every interleaving of
+// Bloom's protocol is atomic; the four-writer tournament is not; the
+// substrate constructions provide exactly their claimed consistency level.
+#include <gtest/gtest.h>
+
+#include "modelcheck/explorer.hpp"
+#include "modelcheck/processes.hpp"
+
+namespace bloom87::mc {
+namespace {
+
+mc_register atomic_reg(mc_value domain, mc_value committed) {
+    mc_register r;
+    r.level = reg_level::atomic;
+    r.domain = domain;
+    r.committed = committed;
+    return r;
+}
+
+mc_register weak_reg(reg_level level, mc_value domain, mc_value committed) {
+    mc_register r;
+    r.level = level;
+    r.domain = domain;
+    r.committed = committed;
+    return r;
+}
+
+/// Bloom system: initial value 0, writers' scripts given as raw values.
+sim_state bloom_system(std::vector<mc_value> w0, std::vector<mc_value> w1,
+                       int readers, int reads_each) {
+    mc_value max_v = 0;
+    for (mc_value v : w0) max_v = std::max(max_v, v);
+    for (mc_value v : w1) max_v = std::max(max_v, v);
+    const auto domain = static_cast<mc_value>((max_v + 1) * 2);
+
+    sim_state s;
+    s.registers.push_back(atomic_reg(domain, encode_tagged(0, false)));
+    s.registers.push_back(atomic_reg(domain, encode_tagged(0, false)));
+    s.procs.push_back(make_bloom_writer(0, std::move(w0)));
+    s.procs.push_back(make_bloom_writer(1, std::move(w1)));
+    for (int r = 0; r < readers; ++r) {
+        s.procs.push_back(
+            make_bloom_reader(static_cast<processor_id>(2 + r), reads_each));
+    }
+    return s;
+}
+
+TEST(BloomModel, TwoWritesEachOneReaderAllSchedulesAtomic) {
+    sim_state s = bloom_system({1, 2}, {3, 4}, 1, 1);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+    EXPECT_GT(res.leaves, 0u);
+    EXPECT_GT(res.distinct_histories, 100u);
+}
+
+TEST(BloomModel, TwoReadersAllSchedulesAtomic) {
+    // A second reader catches cross-reader new-old inversions: reader A
+    // returning the new value, then reader B (starting after A finished)
+    // returning the old one.
+    sim_state s = bloom_system({1}, {2}, 1, 2);
+    s.procs.push_back(make_bloom_reader(3, 1));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+TEST(BloomModel, DeepWriterContentionAtomic) {
+    sim_state s = bloom_system({1, 2, 3}, {4, 5}, 1, 1);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds);
+}
+
+// Footnote 5 of the paper: the proof tolerates reordering the reader's
+// first two reads. The explorer confirms the reversed-order reader is
+// atomic at the same bound that certifies the standard one.
+TEST(BloomModel, ReversedTagSamplingStillAtomic) {
+    sim_state s;
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.procs.push_back(make_bloom_writer(0, {1, 2}));
+    s.procs.push_back(make_bloom_writer(1, {3, 4}));
+    s.procs.push_back(make_bloom_reader_reversed(2, 2));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+// Ablation: the third real read is NECESSARY. A reader returning the value
+// it captured alongside the chosen tag can return a value overwritten
+// before the read even started (the explorer finds the stale-read trace).
+TEST(BloomModel, SkippingTheThirdReadBreaksAtomicity) {
+    sim_state s;
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.procs.push_back(make_bloom_writer(0, {1, 2}));
+    s.procs.push_back(make_bloom_writer(1, {3, 4}));
+    s.procs.push_back(make_bloom_reader_no_reread(2, 2));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds)
+        << "the two-read shortcut should NOT be atomic";
+}
+
+// Mutation test: a writer applying the WRONG tag rule (the other writer's)
+// must be caught by the explorer -- writer 1 then writes tag t0', so its
+// writes never move the tag sum to 1 and readers can miss them entirely
+// even after the write completed.
+TEST(BloomModel, BrokenTagRuleCaught) {
+    sim_state s;
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.procs.push_back(make_bloom_writer(0, {1, 2}));
+    s.procs.push_back(make_bloom_writer_wrong_tag(1, {3, 4}));
+    s.procs.push_back(make_bloom_reader(2, 2));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+// Exhaustive crash tolerance: a writer crashing at EVERY possible point of
+// EVERY op, under EVERY schedule, leaves an atomic history (paper §5: "the
+// write either occurs or does not occur").
+class CrashPoints
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(CrashPoints, AllSchedulesAtomicAroundACrash) {
+    const auto [crash_op, crash_stage] = GetParam();
+    sim_state s;
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.registers.push_back(atomic_reg(16, encode_tagged(0, false)));
+    s.procs.push_back(
+        make_bloom_writer_crashing(0, {1, 2}, crash_op, crash_stage));
+    s.procs.push_back(make_bloom_writer(1, {3, 4}));
+    s.procs.push_back(make_bloom_reader(2, 1));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << "crash at op " << crash_op << " stage " << crash_stage << "\n"
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, CrashPoints,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1),
+                       ::testing::Values(0, 1, 2)));
+
+// ---------------------------------------------------------------------------
+// The four-writer tournament (paper, Section 8).
+// ---------------------------------------------------------------------------
+
+TEST(TournamentModel, ViolationFoundWithThreeWriters) {
+    // The Figure 5 schedule needs Wr00, Wr01 (pair 0) and Wr11 (pair 1),
+    // plus a reader taking two reads. The explorer must find a
+    // non-linearizable schedule.
+    sim_state s;
+    s.registers.push_back(atomic_reg(16, encode_tagged(1, false)));
+    s.registers.push_back(atomic_reg(16, encode_tagged(1, false)));
+    s.procs.push_back(make_tournament_writer(0, {2}));  // Wr00 writes 'x'
+    s.procs.push_back(make_tournament_writer(1, {3}));  // Wr01 writes 'd'
+    s.procs.push_back(make_tournament_writer(3, {4}));  // Wr11 writes 'c'
+    s.procs.push_back(make_tournament_reader(4, 2));
+    explore_config cfg;
+    cfg.initial = 1;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds)
+        << "the tournament register should NOT be atomic";
+    ASSERT_TRUE(res.first_violation.has_value());
+}
+
+TEST(TournamentModel, SingleWriterPerPairIsAtomic) {
+    // With only one writer per pair the tournament degenerates to Bloom's
+    // two-writer protocol and must pass.
+    sim_state s;
+    s.registers.push_back(atomic_reg(16, encode_tagged(1, false)));
+    s.registers.push_back(atomic_reg(16, encode_tagged(1, false)));
+    s.procs.push_back(make_tournament_writer(0, {2, 3}));
+    s.procs.push_back(make_tournament_writer(2, {4, 5}));
+    s.procs.push_back(make_tournament_reader(4, 2));
+    explore_config cfg;
+    cfg.initial = 1;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+// ---------------------------------------------------------------------------
+// Simpson's four-slot register over weak slots.
+// ---------------------------------------------------------------------------
+
+sim_state fourslot_system(reg_level data_level, reg_level control_level,
+                          std::vector<mc_value> writes, int reads) {
+    mc_value max_v = 0;
+    for (mc_value v : writes) max_v = std::max(max_v, v);
+    sim_state s;
+    for (int i = 0; i < 4; ++i) {
+        s.registers.push_back(
+            weak_reg(data_level, static_cast<mc_value>(max_v + 1), 0));
+    }
+    for (int i = 0; i < 4; ++i) {
+        s.registers.push_back(weak_reg(control_level, 2, 0));
+    }
+    s.procs.push_back(make_fourslot_writer(0, std::move(writes)));
+    s.procs.push_back(make_fourslot_reader(0, 1, reads));
+    return s;
+}
+
+TEST(FourSlotModel, AtomicWithAtomicControlBitsAndSafeSlots) {
+    // Simpson's correctness argument assumes atomic control bits; the data
+    // slots may be arbitrarily weak (safe).
+    sim_state s = fourslot_system(reg_level::safe, reg_level::atomic, {1, 2}, 2);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+    EXPECT_GT(res.distinct_histories, 10u);
+}
+
+TEST(FourSlotModel, RegularControlBitsAreNotEnough) {
+    // With merely REGULAR control bits a reader can see the new slot index
+    // and then an older one, producing a new-old inversion -- the explorer
+    // finds it. (This is why the threaded four_slot_register uses atomic
+    // control bits.)
+    sim_state s = fourslot_system(reg_level::safe, reg_level::regular, {1, 2}, 2);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+TEST(FourSlotModel, ThreeWritesStillAtomic) {
+    sim_state s = fourslot_system(reg_level::safe, reg_level::atomic, {1, 2, 3}, 2);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+// ---------------------------------------------------------------------------
+// Lamport's unary construction: regular but not atomic.
+// ---------------------------------------------------------------------------
+
+sim_state unary_system(int k, std::vector<mc_value> writes, int reads) {
+    sim_state s;
+    for (int i = 0; i < k; ++i) {
+        s.registers.push_back(weak_reg(reg_level::regular, 2, i == 0 ? 1 : 0));
+    }
+    s.procs.push_back(make_unary_writer(0, k, std::move(writes)));
+    s.procs.push_back(make_unary_reader(0, k, 1, reads));
+    return s;
+}
+
+TEST(UnaryModel, IsRegular) {
+    sim_state s = unary_system(3, {2, 1}, 2);
+    explore_config cfg;
+    cfg.prop = property::regular_swmr;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+TEST(UnaryModel, IsNotAtomic) {
+    // Two sequential reads overlapping one write can see new-then-old
+    // (the classic regular-but-not-atomic behavior).
+    sim_state s = unary_system(3, {2, 1}, 2);
+    explore_config cfg;
+    cfg.prop = property::atomic;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+// ---------------------------------------------------------------------------
+// The SWMR-from-SWSR multi-reader construction.
+// ---------------------------------------------------------------------------
+
+sim_state mr_system(int n, std::vector<mc_value> writes,
+                    std::vector<int> reads_per_reader, bool with_report) {
+    sim_state s;
+    const auto domain = static_cast<mc_value>(writes.size() + 1);
+    for (int i = 0; i < n + n * n; ++i) {
+        s.registers.push_back(atomic_reg(domain, 0));
+    }
+    s.procs.push_back(make_mr_writer(0, n, writes));
+    for (int r = 0; r < n; ++r) {
+        auto reader = with_report
+                          ? make_mr_reader(0, n, r,
+                                           static_cast<processor_id>(2 + r),
+                                           reads_per_reader[static_cast<std::size_t>(r)],
+                                           writes)
+                          : make_mr_reader_no_report(
+                                0, n, r, static_cast<processor_id>(2 + r),
+                                reads_per_reader[static_cast<std::size_t>(r)],
+                                writes);
+        s.procs.push_back(std::move(reader));
+    }
+    return s;
+}
+
+TEST(MultiReaderModel, TwoReadersAtomic) {
+    sim_state s = mr_system(2, {1, 2}, {2, 1}, true);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+    EXPECT_GT(res.distinct_histories, 50u);
+}
+
+TEST(MultiReaderModel, ThreeReadersAtomic) {
+    sim_state s = mr_system(3, {1}, {1, 1, 1}, true);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+TEST(MultiReaderModel, SkippingTheReportRoundBreaksAtomicity) {
+    // Without the report round, reader A can return the new value while a
+    // later read by reader B still returns the old one: the mutation is
+    // caught, proving the round is load-bearing.
+    sim_state s = mr_system(2, {1, 2}, {2, 2}, false);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+// ---------------------------------------------------------------------------
+// Lamport's hierarchy, verified directly on single cells.
+// ---------------------------------------------------------------------------
+
+sim_state cell_system(reg_level level, std::vector<mc_value> writes, int readers,
+                      int reads_each) {
+    mc_value max_v = 0;
+    for (mc_value v : writes) max_v = std::max(max_v, v);
+    sim_state s;
+    s.registers.push_back(weak_reg(level, static_cast<mc_value>(max_v + 1), 0));
+    if (level == reg_level::atomic) s.registers[0].level = reg_level::atomic;
+    s.procs.push_back(make_cell_writer(0, std::move(writes)));
+    for (int r = 0; r < readers; ++r) {
+        s.procs.push_back(make_cell_reader(0, static_cast<processor_id>(2 + r),
+                                           reads_each));
+    }
+    return s;
+}
+
+TEST(Hierarchy, AtomicCellIsAtomic) {
+    sim_state s = cell_system(reg_level::atomic, {1, 2}, 2, 2);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds);
+}
+
+TEST(Hierarchy, RegularCellIsRegularButNotAtomic) {
+    {
+        sim_state s = cell_system(reg_level::regular, {1, 2}, 1, 2);
+        explore_config cfg;
+        cfg.prop = property::regular_swmr;
+        EXPECT_TRUE(explore(s, cfg).property_holds);
+    }
+    {
+        sim_state s = cell_system(reg_level::regular, {1, 2}, 1, 2);
+        explore_config cfg;
+        cfg.prop = property::atomic;
+        EXPECT_FALSE(explore(s, cfg).property_holds);  // new-old inversion
+    }
+}
+
+TEST(Hierarchy, SafeCellIsNotEvenRegular) {
+    // Rewriting the same value lets an overlapping safe read flicker to a
+    // value that is neither the old one nor the written one.
+    sim_state s = cell_system(reg_level::safe, {1, 1}, 1, 1);
+    explore_config cfg;
+    cfg.prop = property::regular_swmr;
+    EXPECT_FALSE(explore(s, cfg).property_holds);
+}
+
+TEST(Hierarchy, BinaryEncodedRegisterIsSafeButNotRegular) {
+    // Lamport: B safe bits give a 2^B-valued SAFE register (construction by
+    // binary encoding)...
+    {
+        sim_state s;
+        for (int b = 0; b < 2; ++b) {
+            s.registers.push_back(weak_reg(reg_level::safe, 2, 0));
+        }
+        s.procs.push_back(make_binary_writer(0, 2, {1, 2}));
+        s.procs.push_back(make_binary_reader(0, 2, 1, 2));
+        explore_config cfg;
+        cfg.prop = property::safe_swmr;
+        const explore_result res = explore(s, cfg);
+        EXPECT_FALSE(res.truncated);
+        EXPECT_TRUE(res.property_holds)
+            << res.first_violation->diagnosis << "\n"
+            << format_operations(res.first_violation->hist);
+    }
+    // ... but NOT a regular one: an overlapping read can assemble a
+    // mixture of old and new bits (e.g. reading 3 while 1 -> 2).
+    {
+        sim_state s;
+        for (int b = 0; b < 2; ++b) {
+            s.registers.push_back(weak_reg(reg_level::safe, 2, 0));
+        }
+        s.procs.push_back(make_binary_writer(0, 2, {1, 2}));
+        s.procs.push_back(make_binary_reader(0, 2, 1, 2));
+        explore_config cfg;
+        cfg.prop = property::regular_swmr;
+        const explore_result res = explore(s, cfg);
+        EXPECT_FALSE(res.truncated);
+        EXPECT_FALSE(res.property_holds);
+    }
+}
+
+TEST(Hierarchy, BinaryOverRegularBitsIsStillNotRegular) {
+    // Even REGULAR bits do not make the binary-encoded register regular:
+    // each bit individually returns old-or-new, but the mixture across
+    // bits can be a value never written (1 -> 2 read as 3 or 0).
+    sim_state s;
+    for (int b = 0; b < 2; ++b) {
+        s.registers.push_back(weak_reg(reg_level::regular, 2, 0));
+    }
+    s.procs.push_back(make_binary_writer(0, 2, {1, 2}));
+    s.procs.push_back(make_binary_reader(0, 2, 1, 2));
+    explore_config cfg;
+    cfg.prop = property::regular_swmr;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+TEST(Hierarchy, MonotoneStampsUpgradeRegularToSwsrAtomic) {
+    // The classic construction: a single reader keeping the freshest
+    // (seq, value) it ever saw turns a REGULAR cell into an ATOMIC SWSR
+    // register.
+    constexpr mc_value vdom = 4;
+    sim_state s;
+    // Stamps go up to (writes=2)+1 -> domain (2+1)*vdom.
+    s.registers.push_back(weak_reg(reg_level::regular, 3 * vdom, 0));
+    s.procs.push_back(make_stamped_cell_writer(0, {1, 2}, vdom));
+    s.procs.push_back(make_stamped_cell_reader(0, 2, 3, vdom));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+TEST(Hierarchy, MonotoneStampsDoNotFixTwoReaders) {
+    // The same trick is NOT enough for two readers (that is what the
+    // report round of swmr_from_swsr exists for).
+    constexpr mc_value vdom = 4;
+    sim_state s;
+    s.registers.push_back(weak_reg(reg_level::regular, 3 * vdom, 0));
+    s.procs.push_back(make_stamped_cell_writer(0, {1, 2}, vdom));
+    s.procs.push_back(make_stamped_cell_reader(0, 2, 2, vdom));
+    s.procs.push_back(make_stamped_cell_reader(0, 3, 2, vdom));
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+// ---------------------------------------------------------------------------
+// Safe bit discipline (Lamport).
+// ---------------------------------------------------------------------------
+
+sim_state bit_system(bool disciplined, std::vector<mc_value> writes, int reads) {
+    sim_state s;
+    s.registers.push_back(weak_reg(reg_level::safe, 2, 0));
+    s.procs.push_back(make_bit_writer(0, std::move(writes), disciplined));
+    s.procs.push_back(make_bit_reader(0, 1, reads));
+    return s;
+}
+
+TEST(SafeBitModel, UndisciplinedWriterIsNotRegular) {
+    // Writing 1 twice: during the second (same-value) write a safe read may
+    // flicker to 0, which regularity forbids.
+    sim_state s = bit_system(false, {1, 1}, 1);
+    explore_config cfg;
+    cfg.prop = property::regular_swmr;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds);
+}
+
+TEST(SafeBitModel, WriteOnlyChangesDisciplineIsRegular) {
+    sim_state s = bit_system(true, {1, 1, 0, 0, 1}, 2);
+    explore_config cfg;
+    cfg.prop = property::regular_swmr;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+}
+
+}  // namespace
+}  // namespace bloom87::mc
