@@ -3,14 +3,36 @@
 // States explored, distinct external histories, and the atomicity verdict
 // for each protocol configuration the repository verifies exhaustively:
 // Bloom's two-writer register (PASS at every bound), the deliberately
-// broken tag-rule mutant (FAIL), the four-writer tournament (FAIL, with the
-// minimal violating trace printed), and the substrate constructions at
-// their exact consistency levels.
+// broken tag-rule mutant (FAIL), the four-writer tournament (FAIL, with a
+// violating trace printed), and the substrate constructions at their exact
+// consistency levels.
+//
+// Every configuration runs on the sequential engine (threads = 1) and on
+// the parallel work-sharing engine (threads = hardware_concurrency, or
+// --threads N); the verdict and the schedule-invariant counters must agree
+// between the two. Usage:
+//
+//   bench_modelcheck [--threads N] [--json BENCH_modelcheck.json]
+//
+// --json writes a machine-readable record (states/sec, wall ms per engine,
+// thread count, speedup vs 1 thread) so the perf trajectory is tracked
+// across PRs.
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "modelcheck/explorer.hpp"
 #include "modelcheck/processes.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
@@ -26,15 +48,34 @@ mc_register make_reg(reg_level level, mc_value domain, mc_value committed) {
     return r;
 }
 
-struct config_result {
-    explore_result res;
-    double ms;
+struct bench_config {
+    std::string name;
+    std::string prop_name;
+    property prop{property::atomic};
+    value_t initial{0};
+    bool expect_pass{true};
+    bool print_first_violation{false};
+    std::function<sim_state()> make;
 };
 
-config_result run(sim_state& s, property prop, value_t initial) {
+struct timed_result {
+    explore_result res;
+    double ms{0};
+};
+
+timed_result run(const bench_config& c, unsigned threads) {
+#if defined(__GLIBC__)
+    // Return the previous configuration's freed heap to the kernel before
+    // starting the clock: glibc otherwise charges a one-off consolidation
+    // pass (hundreds of ms after a multi-million-state run) to whichever
+    // explore() happens to allocate next.
+    malloc_trim(0);
+#endif
+    const sim_state s = c.make();
     explore_config cfg;
-    cfg.prop = prop;
-    cfg.initial = initial;
+    cfg.prop = c.prop;
+    cfg.initial = c.initial;
+    cfg.threads = threads;
     const auto t0 = std::chrono::steady_clock::now();
     explore_result res = explore(s, cfg);
     const auto t1 = std::chrono::steady_clock::now();
@@ -42,155 +83,308 @@ config_result run(sim_state& s, property prop, value_t initial) {
             std::chrono::duration<double, std::milli>(t1 - t0).count()};
 }
 
+/// The counters that must not depend on the thread count. When a run
+/// stopped early (first violation, with stop_at_first_violation set) or
+/// was truncated, only the verdict itself is schedule-invariant -- how much
+/// of the space each engine covered before the stop is not.
+bool verdicts_match(const explore_result& a, const explore_result& b) {
+    if (a.property_holds != b.property_holds || a.truncated != b.truncated) {
+        return false;
+    }
+    const bool stopped_early = !a.property_holds || a.truncated;
+    if (stopped_early) return true;
+    return a.leaves == b.leaves &&
+           a.distinct_histories == b.distinct_histories &&
+           a.violations == b.violations;
+}
+
+std::vector<bench_config> make_configs() {
+    std::vector<bench_config> configs;
+
+    configs.push_back({"Bloom 2x2 writes, 1 reader", "atomic", property::atomic,
+                       0, true, false, [] {
+                           sim_state s;
+                           s.registers = {make_reg(reg_level::atomic, 12, 0),
+                                          make_reg(reg_level::atomic, 12, 0)};
+                           s.procs.push_back(make_bloom_writer(0, {1, 2}));
+                           s.procs.push_back(make_bloom_writer(1, {3, 4}));
+                           s.procs.push_back(make_bloom_reader(2, 1));
+                           return s;
+                       }});
+    configs.push_back({"Bloom 1x1 writes, 2 readers", "atomic", property::atomic,
+                       0, true, false, [] {
+                           sim_state s;
+                           s.registers = {make_reg(reg_level::atomic, 6, 0),
+                                          make_reg(reg_level::atomic, 6, 0)};
+                           s.procs.push_back(make_bloom_writer(0, {1}));
+                           s.procs.push_back(make_bloom_writer(1, {2}));
+                           s.procs.push_back(make_bloom_reader(2, 2));
+                           s.procs.push_back(make_bloom_reader(3, 1));
+                           return s;
+                       }});
+    configs.push_back({"Bloom MUTANT (wrong tag rule)", "atomic",
+                       property::atomic, 0, false, false, [] {
+                           sim_state s;
+                           s.registers = {make_reg(reg_level::atomic, 12, 0),
+                                          make_reg(reg_level::atomic, 12, 0)};
+                           s.procs.push_back(make_bloom_writer(0, {1, 2}));
+                           s.procs.push_back(
+                               make_bloom_writer_wrong_tag(1, {3, 4}));
+                           s.procs.push_back(make_bloom_reader(2, 2));
+                           return s;
+                       }});
+    configs.push_back({"Bloom, reader samples tags reversed (fn. 5)", "atomic",
+                       property::atomic, 0, true, false, [] {
+                           sim_state s;
+                           s.registers = {make_reg(reg_level::atomic, 12, 0),
+                                          make_reg(reg_level::atomic, 12, 0)};
+                           s.procs.push_back(make_bloom_writer(0, {1, 2}));
+                           s.procs.push_back(make_bloom_writer(1, {3, 4}));
+                           s.procs.push_back(make_bloom_reader_reversed(2, 2));
+                           return s;
+                       }});
+    configs.push_back({"Bloom ABLATION (third read skipped)", "atomic",
+                       property::atomic, 0, false, false, [] {
+                           sim_state s;
+                           s.registers = {make_reg(reg_level::atomic, 12, 0),
+                                          make_reg(reg_level::atomic, 12, 0)};
+                           s.procs.push_back(make_bloom_writer(0, {1, 2}));
+                           s.procs.push_back(make_bloom_writer(1, {3, 4}));
+                           s.procs.push_back(make_bloom_reader_no_reread(2, 2));
+                           return s;
+                       }});
+    configs.push_back({"Tournament 4-writer (Fig. 5)", "atomic",
+                       property::atomic, 1, false, true, [] {
+                           sim_state s;
+                           s.registers = {
+                               make_reg(reg_level::atomic, 10,
+                                        encode_tagged(1, false)),
+                               make_reg(reg_level::atomic, 10,
+                                        encode_tagged(1, false))};
+                           s.procs.push_back(make_tournament_writer(0, {2}));
+                           s.procs.push_back(make_tournament_writer(1, {3}));
+                           s.procs.push_back(make_tournament_writer(3, {4}));
+                           s.procs.push_back(make_tournament_reader(4, 2));
+                           return s;
+                       }});
+    configs.push_back({"Simpson 4-slot, safe data + atomic ctrl", "atomic",
+                       property::atomic, 0, true, false, [] {
+                           sim_state s;
+                           for (int i = 0; i < 4; ++i) {
+                               s.registers.push_back(
+                                   make_reg(reg_level::safe, 3, 0));
+                           }
+                           for (int i = 0; i < 4; ++i) {
+                               s.registers.push_back(
+                                   make_reg(reg_level::atomic, 2, 0));
+                           }
+                           s.procs.push_back(make_fourslot_writer(0, {1, 2}));
+                           s.procs.push_back(make_fourslot_reader(0, 1, 2));
+                           return s;
+                       }});
+    configs.push_back({"Simpson 4-slot, regular ctrl bits", "atomic",
+                       property::atomic, 0, false, false, [] {
+                           sim_state s;
+                           for (int i = 0; i < 4; ++i) {
+                               s.registers.push_back(
+                                   make_reg(reg_level::safe, 3, 0));
+                           }
+                           for (int i = 0; i < 4; ++i) {
+                               s.registers.push_back(
+                                   make_reg(reg_level::regular, 2, 0));
+                           }
+                           s.procs.push_back(make_fourslot_writer(0, {1, 2}));
+                           s.procs.push_back(make_fourslot_reader(0, 1, 2));
+                           return s;
+                       }});
+    configs.push_back({"SWMR-from-SWSR, 2 readers", "atomic", property::atomic,
+                       0, true, false, [] {
+                           sim_state s;
+                           for (int i = 0; i < 2 + 4; ++i) {
+                               s.registers.push_back(
+                                   make_reg(reg_level::atomic, 3, 0));
+                           }
+                           s.procs.push_back(make_mr_writer(0, 2, {1, 2}));
+                           s.procs.push_back(make_mr_reader(0, 2, 0, 2, 2, {1, 2}));
+                           s.procs.push_back(make_mr_reader(0, 2, 1, 3, 1, {1, 2}));
+                           return s;
+                       }});
+    configs.push_back({"SWMR-from-SWSR, report round SKIPPED", "atomic",
+                       property::atomic, 0, false, false, [] {
+                           sim_state s;
+                           for (int i = 0; i < 2 + 4; ++i) {
+                               s.registers.push_back(
+                                   make_reg(reg_level::atomic, 3, 0));
+                           }
+                           s.procs.push_back(make_mr_writer(0, 2, {1, 2}));
+                           s.procs.push_back(
+                               make_mr_reader_no_report(0, 2, 0, 2, 2, {1, 2}));
+                           s.procs.push_back(
+                               make_mr_reader_no_report(0, 2, 1, 3, 2, {1, 2}));
+                           return s;
+                       }});
+    configs.push_back({"Lamport unary (3 regular bits)", "regular",
+                       property::regular_swmr, 0, true, false, [] {
+                           sim_state s;
+                           for (int i = 0; i < 3; ++i) {
+                               s.registers.push_back(make_reg(
+                                   reg_level::regular, 2, i == 0 ? 1 : 0));
+                           }
+                           s.procs.push_back(make_unary_writer(0, 3, {2, 1}));
+                           s.procs.push_back(make_unary_reader(0, 3, 1, 2));
+                           return s;
+                       }});
+    configs.push_back({"Lamport unary (3 regular bits)", "atomic",
+                       property::atomic, 0, false, false, [] {
+                           sim_state s;
+                           for (int i = 0; i < 3; ++i) {
+                               s.registers.push_back(make_reg(
+                                   reg_level::regular, 2, i == 0 ? 1 : 0));
+                           }
+                           s.procs.push_back(make_unary_writer(0, 3, {2, 1}));
+                           s.procs.push_back(make_unary_reader(0, 3, 1, 2));
+                           return s;
+                       }});
+    configs.push_back({"safe bit, naive writer", "regular",
+                       property::regular_swmr, 0, false, false, [] {
+                           sim_state s;
+                           s.registers.push_back(make_reg(reg_level::safe, 2, 0));
+                           s.procs.push_back(make_bit_writer(0, {1, 1}, false));
+                           s.procs.push_back(make_bit_reader(0, 1, 1));
+                           return s;
+                       }});
+    configs.push_back({"safe bit, write-only-changes writer", "regular",
+                       property::regular_swmr, 0, true, false, [] {
+                           sim_state s;
+                           s.registers.push_back(make_reg(reg_level::safe, 2, 0));
+                           s.procs.push_back(
+                               make_bit_writer(0, {1, 1, 0, 1}, true));
+                           s.procs.push_back(make_bit_reader(0, 1, 2));
+                           return s;
+                       }});
+    return configs;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--threads N] [--json PATH]\n";
+            return 64;
+        }
+    }
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    if (threads == 0) threads = hw;
+
     print_banner(std::cout, "TAB-D", "Bounded exhaustive verification");
+    std::cout << "parallel engine: " << threads << " thread(s), "
+              << "hardware_concurrency = " << hw << "\n\n";
+
+    const std::vector<bench_config> configs = make_configs();
 
     table t({"configuration", "property", "states", "histories", "verdict",
-             "time (ms)"});
-    auto add = [&](const std::string& name, const std::string& prop_name,
-                   const config_result& r, bool expect_pass) {
-        const bool pass = r.res.property_holds;
-        t.row({name, prop_name, with_commas(r.res.states_explored),
-               with_commas(r.res.distinct_histories),
-               std::string(pass ? "PASS" : "FAIL") +
-                   (pass == expect_pass ? " (expected)" : "  ** UNEXPECTED **"),
-               fixed(r.ms, 1)});
-    };
+             "t=1 ms", "t=" + std::to_string(threads) + " ms", "speedup"});
 
-    {
-        sim_state s;
-        s.registers = {make_reg(reg_level::atomic, 12, 0),
-                       make_reg(reg_level::atomic, 12, 0)};
-        s.procs.push_back(make_bloom_writer(0, {1, 2}));
-        s.procs.push_back(make_bloom_writer(1, {3, 4}));
-        s.procs.push_back(make_bloom_reader(2, 1));
-        auto r = run(s, property::atomic, 0);
-        add("Bloom 2x2 writes, 1 reader", "atomic", r, true);
-    }
-    {
-        sim_state s;
-        s.registers = {make_reg(reg_level::atomic, 6, 0),
-                       make_reg(reg_level::atomic, 6, 0)};
-        s.procs.push_back(make_bloom_writer(0, {1}));
-        s.procs.push_back(make_bloom_writer(1, {2}));
-        s.procs.push_back(make_bloom_reader(2, 2));
-        s.procs.push_back(make_bloom_reader(3, 1));
-        auto r = run(s, property::atomic, 0);
-        add("Bloom 1x1 writes, 2 readers", "atomic", r, true);
-    }
-    {
-        sim_state s;
-        s.registers = {make_reg(reg_level::atomic, 12, 0),
-                       make_reg(reg_level::atomic, 12, 0)};
-        s.procs.push_back(make_bloom_writer(0, {1, 2}));
-        s.procs.push_back(make_bloom_writer_wrong_tag(1, {3, 4}));
-        s.procs.push_back(make_bloom_reader(2, 2));
-        auto r = run(s, property::atomic, 0);
-        add("Bloom MUTANT (wrong tag rule)", "atomic", r, false);
-    }
-    {
-        sim_state s;
-        s.registers = {make_reg(reg_level::atomic, 12, 0),
-                       make_reg(reg_level::atomic, 12, 0)};
-        s.procs.push_back(make_bloom_writer(0, {1, 2}));
-        s.procs.push_back(make_bloom_writer(1, {3, 4}));
-        s.procs.push_back(make_bloom_reader_reversed(2, 2));
-        auto r = run(s, property::atomic, 0);
-        add("Bloom, reader samples tags reversed (fn. 5)", "atomic", r, true);
-    }
-    {
-        sim_state s;
-        s.registers = {make_reg(reg_level::atomic, 12, 0),
-                       make_reg(reg_level::atomic, 12, 0)};
-        s.procs.push_back(make_bloom_writer(0, {1, 2}));
-        s.procs.push_back(make_bloom_writer(1, {3, 4}));
-        s.procs.push_back(make_bloom_reader_no_reread(2, 2));
-        auto r = run(s, property::atomic, 0);
-        add("Bloom ABLATION (third read skipped)", "atomic", r, false);
-    }
-    {
-        sim_state s;
-        s.registers = {make_reg(reg_level::atomic, 10, encode_tagged(1, false)),
-                       make_reg(reg_level::atomic, 10, encode_tagged(1, false))};
-        s.procs.push_back(make_tournament_writer(0, {2}));
-        s.procs.push_back(make_tournament_writer(1, {3}));
-        s.procs.push_back(make_tournament_writer(3, {4}));
-        s.procs.push_back(make_tournament_reader(4, 2));
-        auto r = run(s, property::atomic, 1);
-        add("Tournament 4-writer (Fig. 5)", "atomic", r, false);
-        if (r.res.first_violation) {
-            std::cout << "  tournament's first violating history:\n";
-            std::cout << format_operations(r.res.first_violation->hist);
+    struct row {
+        const bench_config* cfg;
+        timed_result seq;
+        timed_result par;
+        bool match;
+    };
+    std::vector<row> rows;
+    bool all_match = true;
+    for (const bench_config& c : configs) {
+        timed_result seq = run(c, 1);
+        // threads == 1: the parallel run would be the same engine; reuse.
+        timed_result par = threads > 1 ? run(c, threads) : seq;
+        const bool match = verdicts_match(seq.res, par.res);
+        all_match &= match;
+        const bool pass = par.res.property_holds;
+        t.row({c.name, c.prop_name, with_commas(par.res.states_explored),
+               with_commas(par.res.distinct_histories),
+               std::string(pass ? "PASS" : "FAIL") +
+                   (pass == c.expect_pass ? " (expected)"
+                                          : "  ** UNEXPECTED **") +
+                   (match ? "" : "  ** ENGINE MISMATCH **"),
+               fixed(seq.ms, 1), fixed(par.ms, 1),
+               fixed(par.ms > 0 ? seq.ms / par.ms : 1.0, 2)});
+        if (c.print_first_violation && par.res.first_violation) {
+            std::cout << "  " << c.name << " -- a violating history:\n"
+                      << format_operations(par.res.first_violation->hist);
         }
-    }
-    {
-        sim_state s;
-        for (int i = 0; i < 4; ++i) s.registers.push_back(make_reg(reg_level::safe, 3, 0));
-        for (int i = 0; i < 4; ++i) s.registers.push_back(make_reg(reg_level::atomic, 2, 0));
-        s.procs.push_back(make_fourslot_writer(0, {1, 2}));
-        s.procs.push_back(make_fourslot_reader(0, 1, 2));
-        auto r = run(s, property::atomic, 0);
-        add("Simpson 4-slot, safe data + atomic ctrl", "atomic", r, true);
-    }
-    {
-        sim_state s;
-        for (int i = 0; i < 4; ++i) s.registers.push_back(make_reg(reg_level::safe, 3, 0));
-        for (int i = 0; i < 4; ++i) s.registers.push_back(make_reg(reg_level::regular, 2, 0));
-        s.procs.push_back(make_fourslot_writer(0, {1, 2}));
-        s.procs.push_back(make_fourslot_reader(0, 1, 2));
-        auto r = run(s, property::atomic, 0);
-        add("Simpson 4-slot, regular ctrl bits", "atomic", r, false);
-    }
-    {
-        sim_state s;
-        for (int i = 0; i < 2 + 4; ++i) {
-            s.registers.push_back(make_reg(reg_level::atomic, 3, 0));
-        }
-        s.procs.push_back(make_mr_writer(0, 2, {1, 2}));
-        s.procs.push_back(make_mr_reader(0, 2, 0, 2, 2, {1, 2}));
-        s.procs.push_back(make_mr_reader(0, 2, 1, 3, 1, {1, 2}));
-        auto r = run(s, property::atomic, 0);
-        add("SWMR-from-SWSR, 2 readers", "atomic", r, true);
-    }
-    {
-        sim_state s;
-        for (int i = 0; i < 2 + 4; ++i) {
-            s.registers.push_back(make_reg(reg_level::atomic, 3, 0));
-        }
-        s.procs.push_back(make_mr_writer(0, 2, {1, 2}));
-        s.procs.push_back(make_mr_reader_no_report(0, 2, 0, 2, 2, {1, 2}));
-        s.procs.push_back(make_mr_reader_no_report(0, 2, 1, 3, 2, {1, 2}));
-        auto r = run(s, property::atomic, 0);
-        add("SWMR-from-SWSR, report round SKIPPED", "atomic", r, false);
-    }
-    {
-        sim_state s;
-        for (int i = 0; i < 3; ++i) {
-            s.registers.push_back(make_reg(reg_level::regular, 2, i == 0 ? 1 : 0));
-        }
-        s.procs.push_back(make_unary_writer(0, 3, {2, 1}));
-        s.procs.push_back(make_unary_reader(0, 3, 1, 2));
-        auto r = run(s, property::regular_swmr, 0);
-        add("Lamport unary (3 regular bits)", "regular", r, true);
-        auto r2 = run(s, property::atomic, 0);
-        add("Lamport unary (3 regular bits)", "atomic", r2, false);
-    }
-    {
-        sim_state s;
-        s.registers.push_back(make_reg(reg_level::safe, 2, 0));
-        s.procs.push_back(make_bit_writer(0, {1, 1}, false));
-        s.procs.push_back(make_bit_reader(0, 1, 1));
-        auto r = run(s, property::regular_swmr, 0);
-        add("safe bit, naive writer", "regular", r, false);
-        sim_state s2;
-        s2.registers.push_back(make_reg(reg_level::safe, 2, 0));
-        s2.procs.push_back(make_bit_writer(0, {1, 1, 0, 1}, true));
-        s2.procs.push_back(make_bit_reader(0, 1, 2));
-        auto r2 = run(s2, property::regular_swmr, 0);
-        add("safe bit, write-only-changes writer", "regular", r2, true);
+        rows.push_back({&c, std::move(seq), std::move(par), match});
     }
     t.print(std::cout);
-    return 0;
+    if (!all_match) {
+        std::cout << "\n** the parallel engine DISAGREES with the sequential "
+                     "engine on at least one configuration **\n";
+    }
+
+    if (!json_path.empty()) {
+        // The headline speedup is measured on the largest configuration.
+        const row* largest = &rows.front();
+        for (const row& r : rows) {
+            if (r.seq.res.states_explored > largest->seq.res.states_explored) {
+                largest = &r;
+            }
+        }
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        json_writer w(os);
+        w.begin_object();
+        w.field("bench", "modelcheck");
+        w.field("threads", threads);
+        w.field("hardware_concurrency", hw);
+        w.field("verdicts_match", all_match);
+        w.key("largest_config").begin_object();
+        w.field("name", largest->cfg->name);
+        w.field("states", largest->seq.res.states_explored);
+        w.field("wall_ms_1_thread", largest->seq.ms);
+        w.field("wall_ms_n_threads", largest->par.ms);
+        w.field("speedup",
+                largest->par.ms > 0 ? largest->seq.ms / largest->par.ms : 1.0);
+        w.end_object();
+        w.key("configs").begin_array();
+        for (const row& r : rows) {
+            w.begin_object();
+            w.field("name", r.cfg->name);
+            w.field("property", r.cfg->prop_name);
+            w.field("states", r.seq.res.states_explored);
+            w.field("distinct_histories", r.seq.res.distinct_histories);
+            w.field("property_holds", r.seq.res.property_holds);
+            w.field("expected_pass", r.cfg->expect_pass);
+            w.field("verdicts_match", r.match);
+            w.field("wall_ms_1_thread", r.seq.ms);
+            w.field("wall_ms_n_threads", r.par.ms);
+            w.field("states_per_sec_1_thread",
+                    r.seq.ms > 0
+                        ? 1000.0 * static_cast<double>(r.seq.res.states_explored) /
+                              r.seq.ms
+                        : 0.0);
+            w.field("states_per_sec_n_threads",
+                    r.par.ms > 0
+                        ? 1000.0 * static_cast<double>(r.par.res.states_explored) /
+                              r.par.ms
+                        : 0.0);
+            w.field("speedup", r.par.ms > 0 ? r.seq.ms / r.par.ms : 1.0);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        os << "\n";
+        std::cout << "\nwrote " << json_path << "\n";
+    }
+    return all_match ? 0 : 1;
 }

@@ -6,9 +6,15 @@
 // tracks the native atomic within a small constant factor (3 real reads per
 // simulated read) and scales with readers; the mutex collapses under
 // contention.
+//
+//   bench_throughput [--json BENCH_throughput.json]
+//
+// --json writes the measured rows machine-readably for cross-PR tracking.
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +23,7 @@
 #include "baselines/rwlock_register.hpp"
 #include "core/two_writer.hpp"
 #include "registers/packed_atomic.hpp"
+#include "util/json.hpp"
 #include "util/sync.hpp"
 #include "util/table.hpp"
 
@@ -74,13 +81,31 @@ result run_config(int readers, ReadFn&& make_reader_fn, WriteFn&& write_fn,
 
 std::string mops(double per_sec) { return fixed(per_sec / 1e6, 2); }
 
+struct record {
+    int readers;
+    std::string reg;
+    result res;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--json PATH]\n";
+            return 64;
+        }
+    }
+
     print_banner(std::cout, "TAB-C",
                  "Throughput vs reader count (2 writers hammering)");
     constexpr int duration_ms = 150;
 
+    std::vector<record> records;
     table t({"readers", "register", "reads M/s", "writes M/s"});
     for (int n : {1, 2, 4, 8}) {
         {
@@ -99,6 +124,7 @@ int main() {
                 duration_ms);
             t.row({std::to_string(n), "Bloom two-writer", mops(res.reads_per_sec),
                    mops(res.writes_per_sec)});
+            records.push_back({n, "Bloom two-writer", res});
         }
         {
             mutex_register<bench_value> reg(0);
@@ -115,6 +141,7 @@ int main() {
                 duration_ms);
             t.row({std::to_string(n), "mutex baseline", mops(res.reads_per_sec),
                    mops(res.writes_per_sec)});
+            records.push_back({n, "mutex baseline", res});
         }
         {
             rwlock_register<bench_value> reg(0);
@@ -131,6 +158,7 @@ int main() {
                 duration_ms);
             t.row({std::to_string(n), "rw-lock baseline [CHP]",
                    mops(res.reads_per_sec), mops(res.writes_per_sec)});
+            records.push_back({n, "rw-lock baseline [CHP]", res});
         }
         {
             native_atomic_register<bench_value> reg(0);
@@ -147,11 +175,38 @@ int main() {
                 duration_ms);
             t.row({std::to_string(n), "native MRMW atomic",
                    mops(res.reads_per_sec), mops(res.writes_per_sec)});
+            records.push_back({n, "native MRMW atomic", res});
         }
     }
     t.print(std::cout);
     std::cout << "\nExpected shape: Bloom within a small constant of the native\n"
               << "word (3 real reads per simulated read), both scaling with\n"
               << "readers; the mutex baseline collapses under contention.\n";
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        json_writer w(os);
+        w.begin_object();
+        w.field("bench", "throughput");
+        w.field("duration_ms", duration_ms);
+        w.field("hardware_concurrency", std::thread::hardware_concurrency());
+        w.key("rows").begin_array();
+        for (const record& r : records) {
+            w.begin_object();
+            w.field("readers", r.readers);
+            w.field("register", r.reg);
+            w.field("reads_per_sec", r.res.reads_per_sec);
+            w.field("writes_per_sec", r.res.writes_per_sec);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        os << "\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
 }

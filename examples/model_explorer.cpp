@@ -3,17 +3,21 @@
 // Explore every schedule of a register protocol at a chosen bound and print
 // the verdict -- or the first violating history. Usage:
 //
-//   model_explorer bloom      [writes_per_writer] [readers] [reads_each]
-//   model_explorer tournament [reads]
-//   model_explorer fourslot   safe|regular|atomic [writes] [reads]
-//   model_explorer unary      [k] [reads]
+//   model_explorer [--threads N] bloom      [writes_per_writer] [readers] [reads_each]
+//   model_explorer [--threads N] tournament [reads]
+//   model_explorer [--threads N] fourslot   safe|regular|atomic [writes] [reads]
+//   model_explorer [--threads N] unary      [k] [reads]
 //
-// Defaults explore a small, seconds-scale bound. Examples:
+// --threads selects the worker count of the parallel explorer (default:
+// hardware_concurrency; 1 = the deterministic sequential order). Defaults
+// explore a small, seconds-scale bound. Examples:
 //   ./model_explorer bloom 2 1 1        # Bloom, 2 writes each, 1 reader
 //   ./model_explorer fourslot regular   # shows why regular bits fail
+//   ./model_explorer --threads 8 bloom 2 2 1
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "modelcheck/explorer.hpp"
 #include "modelcheck/processes.hpp"
@@ -62,8 +66,20 @@ int arg_or(int argc, char** argv, int index, int fallback) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const std::string mode = argc > 1 ? argv[1] : "bloom";
     explore_config cfg;
+    // Peel off --threads N (anywhere); the rest stays positional.
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+            cfg.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+    const std::string mode = argc > 1 ? argv[1] : "bloom";
 
     if (mode == "bloom") {
         const int writes = arg_or(argc, argv, 2, 2);

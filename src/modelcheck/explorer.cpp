@@ -1,10 +1,18 @@
 #include "modelcheck/explorer.hpp"
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "linearizability/exhaustive.hpp"
 #include "linearizability/regularity.hpp"
+#include "util/sync.hpp"
 
 namespace bloom87::mc {
 namespace {
@@ -25,111 +33,171 @@ std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
     return h;
 }
 
-class dfs_engine {
+/// Fingerprint set sharded into cache-line-padded stripes. The stripe is
+/// chosen by the hash's TOP bits (unordered_set consumes the low ones), so
+/// concurrent inserts from different workers mostly land on different
+/// mutexes. Sequential explorations skip the locks entirely.
+class sharded_fingerprint_set {
 public:
-    dfs_engine(const explore_config& cfg) : cfg_(cfg) {}
+    static constexpr std::size_t stripe_bits = 6;
+    static constexpr std::size_t num_stripes = std::size_t{1} << stripe_bits;
 
-    void run(const sim_state& s, explore_result& out) {
-        visit(s, out);
+    explicit sharded_fingerprint_set(bool locked) : locked_(locked) {}
+
+    /// True when `h` was not present (the caller owns exploring it).
+    bool insert(std::uint64_t h) {
+        stripe& s = stripes_[h >> (64 - stripe_bits)];
+        if (!locked_) return s.set.insert(h).second;
+        std::lock_guard<std::mutex> guard(s.mutex);
+        return s.set.insert(h).second;
     }
 
 private:
-    void visit(const sim_state& s, explore_result& out) {
-        if (out.truncated) return;
-        if (++out.states_explored > cfg_.max_states) {
-            out.truncated = true;
-            return;
-        }
-        if (cfg_.stop_at_first_violation && !out.property_holds) return;
+    struct alignas(cacheline_size) stripe {
+        std::mutex mutex;
+        std::unordered_set<std::uint64_t> set;
+    };
+    const bool locked_;
+    std::array<stripe, num_stripes> stripes_;
+};
 
-        fp_.clear();
-        s.fingerprint(fp_);
-        if (!visited_.insert(hash_words(fp_)).second) {
-            ++out.memo_hits;
-            return;
-        }
+/// A state whose expansion is in progress: already counted and memoized,
+/// with the not-yet-taken (process, choice) moves. Workers take moves from
+/// the front; frontier splitting donates moves from the back (the part a
+/// sequential DFS would reach last).
+struct branch_node {
+    sim_state state;
+    std::vector<std::uint32_t> moves;  ///< (proc << 16) | choice, DFS order
+    std::size_t next{0};
 
-        // Count the available (process, choice) moves; remember the last.
-        std::size_t single_proc = 0;
-        int total_moves = 0;
-        for (std::size_t p = 0; p < s.procs.size(); ++p) {
-            if (s.procs[p]->done(s)) continue;
-            total_moves += s.procs[p]->fanout(s);
-            single_proc = p;
-        }
-        if (total_moves == 0) {
-            leaf(s, out);
-            return;
-        }
-        if (total_moves == 1) {
-            // Deterministic fast path: run the forced moves on ONE copy
-            // instead of copying per step -- long forced stretches dominate
-            // real explorations.
-            sim_state work(s);
-            for (;;) {
-                work.procs[single_proc]->step(work, 0);
-                if (out.truncated) return;
-                if (++out.states_explored > cfg_.max_states) {
-                    out.truncated = true;
-                    return;
-                }
-                fp_.clear();
-                work.fingerprint(fp_);
-                if (!visited_.insert(hash_words(fp_)).second) {
-                    ++out.memo_hits;
-                    return;
-                }
-                int moves = 0;
-                for (std::size_t p = 0; p < work.procs.size(); ++p) {
-                    if (work.procs[p]->done(work)) continue;
-                    moves += work.procs[p]->fanout(work);
-                    single_proc = p;
-                }
-                if (moves == 0) {
-                    leaf(work, out);
-                    return;
-                }
-                if (moves > 1) break;  // branching resumes below
+    branch_node(sim_state&& s, std::vector<std::uint32_t>&& m)
+        : state(std::move(s)), moves(std::move(m)) {}
+};
+
+class explore_engine {
+public:
+    explore_engine(const explore_config& cfg, unsigned threads)
+        : cfg_(cfg),
+          nthreads_(threads),
+          visited_(threads > 1),
+          checked_histories_(threads > 1) {}
+
+    explore_result run(const sim_state& initial) {
+        {
+            // Seed the queue with the root's branch node (the root itself
+            // may resolve to a leaf or a forced chain; then there is no
+            // branching work and the workers terminate immediately).
+            std::vector<std::uint64_t> fp;
+            sim_state root(initial);
+            if (auto node = visit(std::move(root), fp)) {
+                queue_.push_back(std::move(*node));
             }
-            expand(work, out);
-            return;
         }
-        expand(s, out);
+        if (nthreads_ == 1) {
+            worker_main();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(nthreads_);
+            for (unsigned t = 0; t < nthreads_; ++t) {
+                pool.emplace_back([this] { worker_main(); });
+            }
+            for (std::thread& th : pool) th.join();
+        }
+
+        explore_result out;
+        out.states_explored = states_explored_.load(std::memory_order_relaxed);
+        out.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+        out.leaves = leaves_.load(std::memory_order_relaxed);
+        out.distinct_histories =
+            distinct_histories_.load(std::memory_order_relaxed);
+        out.violations = violations_.load(std::memory_order_relaxed);
+        out.property_holds = property_holds_.load(std::memory_order_relaxed);
+        out.truncated = truncated_.load(std::memory_order_relaxed);
+        out.first_violation = std::move(first_violation_);
+        return out;
     }
 
-    // Branch over every (process, choice) pair of a state already counted
-    // and memoized by visit().
-    void expand(const sim_state& s, explore_result& out) {
+private:
+    /// Counts a freshly generated state against the budget. True = the
+    /// exploration is over (budget blown or another worker stopped it).
+    bool over_budget() {
+        if (stop_.load(std::memory_order_relaxed)) return true;
+        if (states_explored_.fetch_add(1, std::memory_order_relaxed) + 1 >
+            cfg_.max_states) {
+            truncated_.store(true, std::memory_order_relaxed);
+            request_stop();
+            return true;
+        }
+        return false;
+    }
+
+    void request_stop() {
+        stop_.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> guard(queue_mutex_);
+        queue_cv_.notify_all();
+    }
+
+    /// Takes ownership of a freshly stepped state: counts it, claims it in
+    /// the visited set, runs forced (fanout == 1) stretches in place on the
+    /// SAME copy, and judges leaves. Returns a branch node when the state
+    /// branches (>= 2 moves), nothing otherwise.
+    std::optional<branch_node> visit(sim_state&& s,
+                                     std::vector<std::uint64_t>& fp) {
+        std::size_t single_proc = 0;
+        int total_moves = 0;
+        for (;;) {
+            if (over_budget()) return std::nullopt;
+            fp.clear();
+            s.fingerprint(fp);
+            if (!visited_.insert(hash_words(fp))) {
+                memo_hits_.fetch_add(1, std::memory_order_relaxed);
+                return std::nullopt;
+            }
+            total_moves = 0;
+            for (std::size_t p = 0; p < s.procs.size(); ++p) {
+                if (s.procs[p]->done(s)) continue;
+                total_moves += s.procs[p]->fanout(s);
+                single_proc = p;
+            }
+            if (total_moves == 0) {
+                leaf(s, fp);
+                return std::nullopt;
+            }
+            if (total_moves > 1) break;
+            // Deterministic stretch: step the one enabled move in place --
+            // no copy at all (long forced stretches dominate real
+            // explorations).
+            s.procs[single_proc]->step(s, 0);
+        }
+        std::vector<std::uint32_t> moves;
+        moves.reserve(static_cast<std::size_t>(total_moves));
         for (std::size_t p = 0; p < s.procs.size(); ++p) {
             if (s.procs[p]->done(s)) continue;
             const int fanout = s.procs[p]->fanout(s);
             for (int choice = 0; choice < fanout; ++choice) {
-                sim_state next(s);
-                next.procs[p]->step(next, choice);
-                visit(next, out);
-                if (out.truncated) return;
-                if (cfg_.stop_at_first_violation && !out.property_holds) return;
+                moves.push_back(static_cast<std::uint32_t>((p << 16) | choice));
             }
         }
+        return branch_node(std::move(s), std::move(moves));
     }
 
-    void leaf(const sim_state& s, explore_result& out) {
-        ++out.leaves;
-        fp_.clear();
+    void leaf(const sim_state& s, std::vector<std::uint64_t>& fp) {
+        leaves_.fetch_add(1, std::memory_order_relaxed);
+        fp.clear();
         // History-only fingerprint for verdict memoization.
+        fp.reserve(s.hist.size() * 4);
         for (const operation& o : s.hist) {
-            fp_.push_back((static_cast<std::uint64_t>(
-                               static_cast<std::uint16_t>(o.id.processor))
-                           << 40) |
-                          (static_cast<std::uint64_t>(o.id.op) << 8) |
-                          static_cast<std::uint64_t>(o.kind));
-            fp_.push_back(static_cast<std::uint64_t>(o.value));
-            fp_.push_back(o.invoked);
-            fp_.push_back(o.responded);
+            fp.push_back((static_cast<std::uint64_t>(
+                              static_cast<std::uint16_t>(o.id.processor))
+                          << 40) |
+                         (static_cast<std::uint64_t>(o.id.op) << 8) |
+                         static_cast<std::uint64_t>(o.kind));
+            fp.push_back(static_cast<std::uint64_t>(o.value));
+            fp.push_back(o.invoked);
+            fp.push_back(o.responded);
         }
-        const std::uint64_t h = hash_words(fp_);
-        if (!checked_histories_.insert(h).second) return;
-        ++out.distinct_histories;
+        if (!checked_histories_.insert(hash_words(fp))) return;
+        distinct_histories_.fetch_add(1, std::memory_order_relaxed);
 
         std::string diagnosis;
         bool ok = true;
@@ -156,27 +224,141 @@ private:
             }
         }
         if (!ok) {
-            ++out.violations;
-            out.property_holds = false;
-            if (!out.first_violation.has_value()) {
-                out.first_violation = violation{s.hist, std::move(diagnosis)};
+            violations_.fetch_add(1, std::memory_order_relaxed);
+            property_holds_.store(false, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> guard(violation_mutex_);
+                if (!first_violation_.has_value()) {
+                    first_violation_ = violation{s.hist, std::move(diagnosis)};
+                }
+            }
+            if (cfg_.stop_at_first_violation) request_stop();
+        }
+    }
+
+    /// Blocks until work is available; empty when the exploration is over
+    /// (stop requested, or every worker idle with an empty queue).
+    std::optional<branch_node> acquire() {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        for (;;) {
+            if (stop_.load(std::memory_order_relaxed) || done_) {
+                return std::nullopt;
+            }
+            if (!queue_.empty()) {
+                branch_node node = std::move(queue_.front());
+                queue_.pop_front();
+                return node;
+            }
+            idle_workers_.fetch_add(1, std::memory_order_relaxed);
+            if (idle_workers_.load(std::memory_order_relaxed) == nthreads_) {
+                done_ = true;
+                queue_cv_.notify_all();
+                return std::nullopt;
+            }
+            queue_cv_.wait(lock, [this] {
+                return stop_.load(std::memory_order_relaxed) || done_ ||
+                       !queue_.empty();
+            });
+            idle_workers_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+
+    /// Frontier splitting: when another worker is starving, give it the
+    /// back half of the pending moves of the SHALLOWEST unexhausted branch
+    /// node -- the biggest subtrees this worker still owes.
+    void maybe_donate(std::vector<branch_node>& stack) {
+        if (idle_workers_.load(std::memory_order_relaxed) == 0) return;
+        for (branch_node& node : stack) {
+            const std::size_t remaining = node.moves.size() - node.next;
+            if (remaining == 0) continue;
+            const std::size_t take = (remaining + 1) / 2;
+            std::vector<std::uint32_t> taken(node.moves.end() -
+                                                 static_cast<std::ptrdiff_t>(take),
+                                             node.moves.end());
+            node.moves.resize(node.moves.size() - take);
+            // Taking every remaining move exhausts the node; its state can
+            // move instead of copy (the husk is popped unused).
+            sim_state state =
+                take == remaining ? std::move(node.state) : sim_state(node.state);
+            std::lock_guard<std::mutex> guard(queue_mutex_);
+            queue_.push_back(branch_node(std::move(state), std::move(taken)));
+            queue_cv_.notify_one();
+            return;
+        }
+    }
+
+    void worker_main() {
+        std::vector<branch_node> stack;
+        std::vector<std::uint64_t> fp;
+        fp.reserve(256);
+        for (;;) {
+            std::optional<branch_node> root = acquire();
+            if (!root.has_value()) return;
+            stack.clear();
+            stack.push_back(std::move(*root));
+            while (!stack.empty()) {
+                if (stop_.load(std::memory_order_relaxed)) return;
+                branch_node& top = stack.back();
+                if (top.next >= top.moves.size()) {  // drained (or donated away)
+                    stack.pop_back();
+                    continue;
+                }
+                const std::uint32_t move = top.moves[top.next++];
+                const auto proc = static_cast<std::size_t>(move >> 16);
+                const int choice = static_cast<int>(move & 0xffff);
+                sim_state child = [&] {
+                    if (top.next == top.moves.size()) {
+                        // Last branch: consume the parent state by move.
+                        sim_state s = std::move(top.state);
+                        stack.pop_back();
+                        return s;
+                    }
+                    return sim_state(top.state);
+                }();
+                child.procs[proc]->step(child, choice);
+                if (std::optional<branch_node> node = visit(std::move(child), fp)) {
+                    stack.push_back(std::move(*node));
+                }
+                if (nthreads_ > 1) maybe_donate(stack);
             }
         }
     }
 
     const explore_config& cfg_;
-    std::unordered_set<std::uint64_t> visited_;
-    std::unordered_set<std::uint64_t> checked_histories_;
-    std::vector<std::uint64_t> fp_;
+    const unsigned nthreads_;
+
+    sharded_fingerprint_set visited_;
+    sharded_fingerprint_set checked_histories_;
+
+    std::atomic<std::uint64_t> states_explored_{0};
+    std::atomic<std::uint64_t> memo_hits_{0};
+    std::atomic<std::uint64_t> leaves_{0};
+    std::atomic<std::uint64_t> distinct_histories_{0};
+    std::atomic<std::uint64_t> violations_{0};
+    std::atomic<bool> property_holds_{true};
+    std::atomic<bool> truncated_{false};
+    std::atomic<bool> stop_{false};
+
+    std::mutex violation_mutex_;
+    std::optional<violation> first_violation_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<branch_node> queue_;
+    std::atomic<unsigned> idle_workers_{0};
+    bool done_{false};  // guarded by queue_mutex_
 };
 
 }  // namespace
 
 explore_result explore(const sim_state& initial_state, const explore_config& cfg) {
-    explore_result out;
-    dfs_engine engine(cfg);
-    engine.run(initial_state, out);
-    return out;
+    unsigned threads = cfg.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0) threads = 1;
+    }
+    explore_engine engine(cfg, threads);
+    return engine.run(initial_state);
 }
 
 std::string format_operations(const std::vector<operation>& ops) {

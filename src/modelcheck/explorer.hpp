@@ -1,12 +1,25 @@
 // bloom87: exhaustive bounded interleaving exploration.
 //
-// Depth-first search over every schedule (and every nondeterministic
-// safe/regular read outcome) of a sim_state. Interior states are memoized by
-// a structural fingerprint -- confluent interleavings that produce the same
-// memory, process, and history state are explored once. Each complete
+// Work-sharing parallel search over every schedule (and every
+// nondeterministic safe/regular read outcome) of a sim_state. Each worker
+// thread runs an explicit-stack DFS over branch nodes -- a (state,
+// pending-choices) pair whose state has already been counted and memoized;
+// idle workers are fed by frontier splitting: a busy worker donates the
+// later choices of its shallowest unexhausted branch node (the largest
+// subtrees it still owes) to a shared queue. Interior states are memoized
+// by a structural fingerprint held in a sharded hash set -- confluent
+// interleavings that produce the same memory, process, and history state
+// are explored once, globally, across all workers. Each complete
 // execution's external history is checked against the requested property
 // (atomicity via the exhaustive checker, or single-writer regularity);
 // verdicts are memoized per distinct history.
+//
+// Determinism: every aggregate verdict and count except states_explored /
+// memo_hits under truncation is independent of the thread count, because
+// the *set* of states explored (first fingerprint insertion wins) and the
+// set of distinct leaf histories are schedule-invariant. `first_violation`
+// is any violating trace: deterministic (DFS order) at threads == 1,
+// scheduler-dependent above.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +41,10 @@ struct explore_config {
     std::uint64_t max_states{20'000'000};
     /// Stop at the first property violation (else count them all).
     bool stop_at_first_violation{true};
+    /// Worker threads. 0 (the default) = hardware_concurrency; 1 =
+    /// sequential (the classic deterministic DFS order, no locking on the
+    /// hot path).
+    unsigned threads{0};
 };
 
 struct violation {
@@ -43,6 +60,9 @@ struct explore_result {
     std::uint64_t violations{0};
     bool property_holds{true};
     bool truncated{false};
+    /// Some violating trace. With threads > 1 *which* trace is recorded
+    /// depends on scheduling; its existence (whenever property_holds is
+    /// false) does not.
     std::optional<violation> first_violation;
 };
 

@@ -8,6 +8,26 @@
 namespace bloom87::mc {
 namespace {
 
+/// Immutable operation script, refcounted across process clones. The
+/// explorer clones every process at every branch point; the script never
+/// changes after construction, so sharing it turns a heap allocation plus
+/// copy per clone into one atomic refcount bump (safe across the parallel
+/// explorer's workers -- the payload is read-only).
+class shared_script {
+public:
+    shared_script(std::vector<mc_value> values)
+        : values_(std::make_shared<const std::vector<mc_value>>(
+              std::move(values))) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_->size(); }
+    [[nodiscard]] mc_value operator[](std::size_t i) const {
+        return (*values_)[i];
+    }
+
+private:
+    std::shared_ptr<const std::vector<mc_value>> values_;
+};
+
 /// Shared boilerplate: a process driven by a script of operations.
 class script_process : public process {
 public:
@@ -35,7 +55,7 @@ protected:
     }
 
     processor_id proc_;
-    std::vector<mc_value> script_;
+    shared_script script_;
     std::size_t pos_{0};
     int pc_{0};
     op_index opno_{0};
@@ -959,7 +979,7 @@ private:
     std::size_t base_;
     int n_;
     int index_;
-    std::vector<mc_value> writer_values_;
+    shared_script writer_values_;
     bool report_;
 };
 

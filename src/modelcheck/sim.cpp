@@ -12,8 +12,13 @@ std::uint64_t full_mask(mc_value domain) {
 
 }  // namespace
 
-sim_state::sim_state(const sim_state& other)
-    : registers(other.registers), hist(other.hist), clock_(other.clock_) {
+sim_state::sim_state(const sim_state& other) : clock_(other.clock_) {
+    // Capacity-preserving clone: the explorer copies states at every branch
+    // point and then keeps appending to `hist` -- inheriting the parent's
+    // grown capacity spares the child the same reallocation ladder.
+    registers = other.registers;
+    hist.reserve(other.hist.capacity());
+    hist = other.hist;
     procs.reserve(other.procs.size());
     for (const auto& p : other.procs) procs.push_back(p->clone());
 }
@@ -107,6 +112,11 @@ void sim_state::end_op(std::size_t hist_index, value_t read_result) {
 }
 
 void sim_state::fingerprint(std::vector<std::uint64_t>& out) const {
+    // Registers contribute <= 2 + active_reads words each, operations 4,
+    // processes a handful; reserving up front makes the (per-state, hot)
+    // fingerprint pass allocation-free once the caller reuses the vector.
+    out.reserve(out.size() + 2 + registers.size() * 4 + hist.size() * 4 +
+                procs.size() * 8);
     out.push_back(registers.size());
     for (const mc_register& r : registers) {
         out.push_back((static_cast<std::uint64_t>(r.committed) << 32) |

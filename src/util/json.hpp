@@ -1,0 +1,126 @@
+// bloom87: minimal streaming JSON emitter for machine-readable bench
+// artifacts (BENCH_*.json). Append-only with automatic comma placement; no
+// reading, no DOM -- the benches only ever serialize flat records, and the
+// repository takes no third-party dependencies for that.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace bloom87 {
+
+class json_writer {
+public:
+    explicit json_writer(std::ostream& os) : os_(os) {}
+
+    json_writer& begin_object() {
+        sep();
+        os_ << '{';
+        need_comma_ = false;
+        return *this;
+    }
+    json_writer& end_object() {
+        os_ << '}';
+        need_comma_ = true;
+        return *this;
+    }
+    json_writer& begin_array() {
+        sep();
+        os_ << '[';
+        need_comma_ = false;
+        return *this;
+    }
+    json_writer& end_array() {
+        os_ << ']';
+        need_comma_ = true;
+        return *this;
+    }
+
+    json_writer& key(std::string_view k) {
+        sep();
+        quoted(k);
+        os_ << ':';
+        after_key_ = true;
+        return *this;
+    }
+
+    json_writer& value(std::string_view v) {
+        sep();
+        quoted(v);
+        need_comma_ = true;
+        return *this;
+    }
+    json_writer& value(const char* v) { return value(std::string_view(v)); }
+    json_writer& value(bool v) {
+        sep();
+        os_ << (v ? "true" : "false");
+        need_comma_ = true;
+        return *this;
+    }
+    json_writer& value(double v) {
+        sep();
+        os_ << v;
+        need_comma_ = true;
+        return *this;
+    }
+    json_writer& value(std::uint64_t v) {
+        sep();
+        os_ << v;
+        need_comma_ = true;
+        return *this;
+    }
+    json_writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+    json_writer& value(int v) {
+        sep();
+        os_ << v;
+        need_comma_ = true;
+        return *this;
+    }
+
+    /// key + scalar in one call: w.field("states", 42)
+    template <typename T>
+    json_writer& field(std::string_view k, T v) {
+        key(k);
+        return value(v);
+    }
+
+private:
+    void sep() {
+        if (after_key_) {
+            after_key_ = false;
+            return;
+        }
+        if (need_comma_) os_ << ',';
+        need_comma_ = false;
+    }
+
+    void quoted(std::string_view s) {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+                case '"': os_ << "\\\""; break;
+                case '\\': os_ << "\\\\"; break;
+                case '\n': os_ << "\\n"; break;
+                case '\t': os_ << "\\t"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x",
+                                      static_cast<unsigned>(c));
+                        os_ << buf;
+                    } else {
+                        os_ << c;
+                    }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream& os_;
+    bool need_comma_{false};
+    bool after_key_{false};
+};
+
+}  // namespace bloom87
