@@ -5,9 +5,14 @@
 // its own register reads only 1-2 real registers per simulated read. This
 // bench measures those numbers exactly with instrumented substrates, per
 // operation and amortized over a mixed workload.
+//
+//   bench_access_counts [--json BENCH_access_counts.json]
+#include <fstream>
 #include <iostream>
 
 #include "core/two_writer.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "histories/workload.hpp"
 #include "registers/instrumented.hpp"
 #include "registers/packed_atomic.hpp"
@@ -33,7 +38,15 @@ void reset(counted_reg& reg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    harness::flag_parser parser("bench_access_counts",
+                                "real-register accesses per simulated op");
+    std::string json_path;
+    parser.add_string("json", "write a bloom87-harness-v1 report here",
+                      &json_path);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+
     print_banner(std::cout, "TAB-A",
                  "Real-register accesses per simulated operation");
 
@@ -113,5 +126,18 @@ int main() {
     a.print(std::cout);
     std::cout << "\n(writes contribute 1 read + 1 write each; cached reads 1-2\n"
               << "reads; reader reads exactly 3 reads.)\n";
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "access_counts");
+        rep.add_table("per_operation", t);
+        rep.add_table("amortized", a);
+        rep.finish();
+        std::cout << "\nwrote " << json_path << "\n";
+    }
     return 0;
 }

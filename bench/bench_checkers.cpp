@@ -5,111 +5,98 @@
 // O(n log n). A general-purpose linearizability checker must SEARCH for an
 // order (exponential worst case even with memoization; the register-
 // specialized polynomial checker sits in between). This bench records real
-// concurrent executions of increasing size and times all three.
-#include <chrono>
+// concurrent executions of increasing size through the harness driver
+// (register "bloom/recording", gamma collection) and times the full checker
+// pipeline on each.
+//
+//   bench_checkers [--json BENCH_checkers.json]
+#include <fstream>
 #include <iostream>
-#include <thread>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "core/two_writer.hpp"
-#include "histories/event_log.hpp"
-#include "histories/workload.hpp"
-#include "linearizability/bloom_linearizer.hpp"
-#include "linearizability/exhaustive.hpp"
-#include "linearizability/fast_register.hpp"
-#include "registers/recording.hpp"
-#include "util/sync.hpp"
+#include "harness/checkers.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
+using namespace bloom87::harness;
 
-namespace {
-
-history record_execution(std::size_t ops_per_writer, std::size_t ops_per_reader,
-                         std::size_t readers, std::uint64_t seed) {
-    workload_config cfg;
-    cfg.readers = readers;
-    cfg.ops_per_writer = ops_per_writer;
-    cfg.ops_per_reader = ops_per_reader;
-    const workload w = make_workload(cfg, seed);
-
-    event_log log(w.total_ops() * 8 + 64);
-    two_writer_register<value_t, recording_register> reg(0, &log);
-    start_gate gate;
-    std::vector<std::thread> pool;
-    for (std::size_t p = 0; p < w.scripts.size(); ++p) {
-        pool.emplace_back([&, p] {
-            gate.wait();
-            if (p < 2) {
-                auto& wr = p == 0 ? reg.writer0() : reg.writer1();
-                for (const workload_op& op : w.scripts[p]) {
-                    if (op.kind == op_kind::write) {
-                        wr.write(op.value);
-                    } else {
-                        (void)wr.read();
-                    }
-                }
-            } else {
-                auto rd = reg.make_reader(static_cast<processor_id>(p));
-                for (std::size_t k = 0; k < w.scripts[p].size(); ++k) {
-                    (void)rd.read();
-                }
-            }
-        });
+int main(int argc, char** argv) {
+    common_flags flags;
+    flags.register_name = "bloom/recording";
+    flag_parser parser("bench_checkers",
+                       "atomicity-checking cost vs history size");
+    flags.add_to(parser);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+    if (flags.list) {
+        print_register_list(std::cout);
+        return 0;
     }
-    gate.open();
-    for (auto& t : pool) t.join();
-    parse_result parsed = parse_history(log.snapshot(), 0);
-    return std::move(parsed.hist);
-}
 
-template <typename F>
-double time_ms(F&& f) {
-    const auto t0 = std::chrono::steady_clock::now();
-    f();
-    const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
-
-}  // namespace
-
-int main() {
     print_banner(std::cout, "TAB-E",
                  "Atomicity-checking cost vs history size");
 
+    std::unique_ptr<std::ofstream> json_os;
+    std::unique_ptr<report_writer> rep;
+    if (!flags.json_path.empty()) {
+        json_os = std::make_unique<std::ofstream>(flags.json_path);
+        if (!*json_os) {
+            std::cerr << "cannot write " << flags.json_path << "\n";
+            return 66;
+        }
+        rep = std::make_unique<report_writer>(*json_os, "checkers");
+    }
+
+    const std::vector<checker_kind> kinds = {
+        checker_kind::bloom, checker_kind::fast, checker_kind::exhaustive};
+
     table t({"ops", "gamma events", "constructive (ms)", "fast register (ms)",
              "exhaustive (ms)", "all agree"});
+    bool all_agree = true;
 
-    for (auto [opw, opr, readers] :
-         {std::tuple<std::size_t, std::size_t, std::size_t>{5, 5, 2},
-          {25, 25, 2},
-          {100, 100, 3},
-          {500, 500, 3},
-          {2000, 2000, 4},
-          {8000, 8000, 4}}) {
-        const history h = record_execution(opw, opr, readers, opw * 31 + 7);
-
-        bool constructive_ok = false, fast_ok = false;
-        const double c_ms = time_ms([&] {
-            const auto res = bloom_linearize(h);
-            constructive_ok = res.ok() && res.atomic;
-        });
-        const double f_ms = time_ms([&] {
-            const auto res = check_fast(h.ops, 0);
-            fast_ok = res.ok() && res.linearizable;
-        });
-        std::string e_cell = "skipped (> 62 ops)";
-        bool exhaustive_ok = true;
-        if (h.ops.size() <= 62) {
-            const double e_ms = time_ms([&] {
-                const auto res = check_exhaustive(h.ops, 0);
-                exhaustive_ok = res.ok() && res.linearizable;
-            });
-            e_cell = fixed(e_ms, 3);
+    struct size_cfg {
+        std::size_t ops;
+        std::size_t readers;
+    };
+    for (const size_cfg sz : std::vector<size_cfg>{
+             {5, 2}, {25, 2}, {100, 3}, {500, 3}, {2000, 4}, {8000, 4}}) {
+        run_spec spec;
+        spec.register_name = flags.register_name;
+        spec.load.readers = sz.readers;
+        spec.load.ops_per_writer = sz.ops;
+        spec.load.ops_per_reader = sz.ops;
+        spec.seed = sz.ops * 31 + 7;
+        spec.collect = collect_mode::gamma;
+        const run_result res = run(spec);
+        if (!res.ok) {
+            std::cerr << spec.register_name << ": " << res.error << "\n";
+            return 1;
         }
-        t.row({with_commas(h.ops.size()), with_commas(h.gamma.size()),
-               fixed(c_ms, 3), fixed(f_ms, 3), e_cell,
-               constructive_ok && fast_ok && exhaustive_ok ? "yes (ATOMIC)"
-                                                           : "** DISAGREE **"});
+
+        const pipeline_result checks = run_checkers(res.events, 0, kinds);
+        std::string cells[3] = {"-", "-", "-"};
+        bool agree = checks.parsed;
+        for (const check_verdict& v : checks.verdicts) {
+            const std::size_t i = v.kind == checker_kind::bloom ? 0
+                                  : v.kind == checker_kind::fast ? 1
+                                                                 : 2;
+            if (!v.ran) {
+                cells[i] = "skipped (" + v.skip_reason + ")";
+            } else {
+                cells[i] = fixed(v.millis, 3);
+                agree &= v.pass;
+            }
+        }
+        all_agree &= agree;
+        t.row({with_commas(checks.operations),
+               with_commas(res.events.size()), cells[0], cells[1], cells[2],
+               agree ? "yes (ATOMIC)" : "** DISAGREE **"});
+        if (rep) rep->add_run(spec, res, &checks);
     }
     t.print(std::cout);
 
@@ -117,5 +104,11 @@ int main() {
               << "proof, executed) and the polynomial register checker scale\n"
               << "near-linearly; exhaustive search is only feasible for tiny\n"
               << "histories. All verdicts agree: ATOMIC.\n";
-    return 0;
+
+    if (rep) {
+        rep->add_table("checker_cost", t);
+        rep->finish();
+        std::cout << "wrote " << flags.json_path << "\n";
+    }
+    return all_agree ? 0 : 1;
 }

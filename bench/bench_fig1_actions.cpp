@@ -1,16 +1,29 @@
 // [FIG1] Regenerates Figure 1 of the paper: the actions of a register
 // automaton -- then demonstrates them live by running the I/O-automaton
 // system and counting each action kind in the schedule.
+//
+//   bench_fig1_actions [--json BENCH_fig1.json]
+#include <fstream>
 #include <iostream>
 #include <map>
 
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "ioa/executor.hpp"
 #include "ioa/protocol_automata.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace bloom87;
     using namespace bloom87::ioa;
+
+    harness::flag_parser parser("bench_fig1_actions",
+                                "actions of a register automaton, counted live");
+    std::string json_path;
+    parser.add_string("json", "write a bloom87-harness-v1 report here",
+                      &json_path);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
 
     print_banner(std::cout, "FIG1", "Actions of a register automaton");
 
@@ -64,5 +77,18 @@ int main() {
               << "one acknowledgment; a simulated read costs 3 real reads and\n"
               << "a simulated write costs 1 real read + 1 real write, so the\n"
               << "register channels carry 3*24+16 = 88 R_start and 16 W_start.\n";
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "fig1_actions");
+        rep.add_table("action_kinds", t);
+        rep.add_table("schedule_counts", c);
+        rep.finish();
+        std::cout << "\nwrote " << json_path << "\n";
+    }
     return 0;
 }

@@ -3,14 +3,27 @@
 // readers) and the channel matrix between them. The matrix is derived from
 // the automata's actual signatures, not hard-coded, so it doubles as a
 // structural test of the composition.
+//
+//   bench_fig2_architecture [--json BENCH_fig2.json]
+#include <fstream>
 #include <iostream>
 
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "ioa/protocol_automata.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace bloom87;
     using namespace bloom87::ioa;
+
+    harness::flag_parser parser("bench_fig2_architecture",
+                                "architecture of the simulated register");
+    std::string json_path;
+    parser.add_string("json", "write a bloom87-harness-v1 report here",
+                      &json_path);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
 
     constexpr int readers = 3;
     print_banner(std::cout, "FIG2",
@@ -60,5 +73,17 @@ int main() {
     std::cout << "\nAs in the paper: Wr_i writes Reg_i and reads (but cannot\n"
               << "write) Reg_{1-i}; every reader reads both real registers;\n"
               << "each real register is 1-writer, (n+1)-reader.\n";
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "fig2_architecture");
+        rep.add_table("channel_matrix", t);
+        rep.finish();
+        std::cout << "\nwrote " << json_path << "\n";
+    }
     return 0;
 }

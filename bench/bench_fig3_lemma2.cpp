@@ -4,28 +4,33 @@
 //
 //  1. A deterministic replay of the impotent-write interleaving, printing
 //     the tag-bit timeline in the style of the paper's figure.
-//  2. Randomized validation: thousands of paced concurrent executions;
-//     every write is classified potent/impotent, every impotent write's
-//     prefinisher is located (Lemma 1) and checked potent (Lemma 2). The
-//     constructive linearizer aborts with the lemma's name if either ever
-//     fails, so the run doubles as a statistical test of the lemmas.
+//  2. Randomized validation through the run harness: thousands of paced
+//     concurrent executions on bloom/recording; every write is classified
+//     potent/impotent, every impotent write's prefinisher is located
+//     (Lemma 1) and checked potent (Lemma 2). The constructive linearizer
+//     aborts with the lemma's name if either ever fails, so the run
+//     doubles as a statistical test of the lemmas.
+//
+//   bench_fig3_lemma2 [--json BENCH_fig3.json]
+#include <fstream>
 #include <iostream>
-#include <thread>
+#include <string>
 
-#include "core/two_writer.hpp"
+#include "harness/checkers.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "histories/event_log.hpp"
 #include "histories/workload.hpp"
-#include "linearizability/bloom_linearizer.hpp"
 #include "registers/recording.hpp"
-#include "util/rng.hpp"
-#include "util/sync.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
+namespace harness = bloom87::harness;
 
 namespace {
 
-void deterministic_replay() {
+table deterministic_replay() {
     event_log log(64);
     recording_register reg0(tagged<value_t>{0, false}, &log, 0);
     recording_register reg1(tagged<value_t>{0, false}, &log, 1);
@@ -66,47 +71,46 @@ void deterministic_replay() {
         << "prefinisher, a contradiction. Above, W1 read Reg0 BEFORE W0's\n"
         << "write and wrote within W0's window, so W1 is potent and\n"
         << "prefinishes W0.\n";
+    return t;
 }
 
-void randomized_validation() {
+// Paced writer-only harness runs on the recording substrate; the pipeline's
+// Bloom checker classifies every write and revalidates Lemmas 1/2 on each
+// impotent one.
+[[nodiscard]] bool randomized_validation(table* out) {
     std::size_t potent = 0, impotent = 0, histories = 0;
     for (std::uint64_t seed = 0; seed < 24; ++seed) {
-        event_log log(1 << 17);
-        two_writer_register<value_t, recording_register> reg(0, &log);
-        start_gate gate;
-        auto writer_loop = [&](int index) {
-            rng pace(seed * 2 + static_cast<std::uint64_t>(index));
-            auto& wr = index == 0 ? reg.writer0() : reg.writer1();
-            for (std::uint32_t i = 0; i < 2000; ++i) {
-                const bool stall = pace.chance(1, 10);
-                wr.write_paced(unique_value(static_cast<processor_id>(index), i),
-                               [&] {
-                                   if (stall) {
-                                       std::this_thread::sleep_for(
-                                           std::chrono::microseconds(30));
-                                   }
-                               });
-            }
-        };
-        std::thread a([&] { gate.wait(); writer_loop(0); });
-        std::thread b([&] { gate.wait(); writer_loop(1); });
-        gate.open();
-        a.join();
-        b.join();
-
-        parse_result parsed = parse_history(log.snapshot(), 0);
-        if (!parsed.ok()) {
-            std::cout << "RECORDING DEFECT: " << parsed.error->message << "\n";
-            return;
+        harness::run_spec spec;
+        spec.register_name = "bloom/recording";
+        spec.load.writers = 2;
+        spec.load.readers = 0;
+        spec.load.ops_per_writer = 2000;
+        spec.load.ops_per_reader = 0;
+        spec.load.writer_read_num = 0;  // writes only, as in the figure
+        spec.seed = seed + 1;
+        spec.collect = harness::collect_mode::gamma;
+        spec.pace.writer_pace_num = 1;
+        spec.pace.writer_pace_den = 10;
+        spec.pace.pause_yields = 256;
+        const harness::run_result res = harness::run(spec);
+        if (!res.ok) {
+            std::cout << "RUN FAILED: " << res.error << "\n";
+            return false;
         }
-        const bloom_result res = bloom_linearize(parsed.hist);
-        if (!res.ok() || !res.atomic) {
+        const harness::pipeline_result checks = harness::run_checkers(
+            res.events, spec.initial, {harness::checker_kind::bloom});
+        if (!checks.parsed) {
+            std::cout << "RECORDING DEFECT: " << checks.parse_error << "\n";
+            return false;
+        }
+        const harness::check_verdict& v = checks.verdicts.front();
+        if (!v.ran || !v.pass) {
             std::cout << "LEMMA VIOLATION: "
-                      << (res.ok() ? res.diagnosis : *res.defect) << "\n";
-            return;
+                      << (v.ran ? v.diagnosis : v.skip_reason) << "\n";
+            return false;
         }
-        potent += res.potent_count;
-        impotent += res.impotent_count;
+        potent += v.potent_writes;
+        impotent += v.impotent_writes;
         ++histories;
     }
 
@@ -121,16 +125,41 @@ void randomized_validation() {
            "every impotent write has a unique prefinisher: HOLDS",
            "every prefinisher is potent: HOLDS"});
     t.print(std::cout);
+    *out = t;
+    return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    harness::flag_parser parser(
+        "bench_fig3_lemma2",
+        "Lemma 2 timing: impotent writes and their prefinishers");
+    std::string json_path;
+    parser.add_string("json", "write a bloom87-harness-v1 report here",
+                      &json_path);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+
     print_banner(std::cout, "FIG3",
                  "Lemma 2 timing: impotent writes and their prefinishers");
     std::cout << "--- deterministic replay of the impotence interleaving ---\n\n";
-    deterministic_replay();
-    std::cout << "\n--- randomized validation over paced concurrent runs ---\n\n";
-    randomized_validation();
+    const table timeline = deterministic_replay();
+    std::cout << "\n--- randomized validation over paced harness runs ---\n\n";
+    table validation({"histories"});
+    if (!randomized_validation(&validation)) return 1;
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "fig3_lemma2");
+        rep.add_table("impotence_timeline", timeline);
+        rep.add_table("lemma_validation", validation);
+        rep.finish();
+        std::cout << "\nwrote " << json_path << "\n";
+    }
     return 0;
 }

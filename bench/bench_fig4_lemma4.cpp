@@ -6,28 +6,34 @@
 //     7.2): the reader samples stale tags, sleeps through two writes, and
 //     returns the impotent write's value; the report prints where each
 //     *-action lands relative to the read's interval.
-//  2. Randomized validation: over many paced concurrent executions with
-//     slow readers, count reads by class and confirm containment (the
-//     linearizer verifies Lemma 4 for every read of an impotent write and
-//     aborts with a diagnosis naming the lemma if it ever fails).
+//  2. Randomized validation through the run harness: paced concurrent
+//     executions with slow readers on bloom/recording; the pipeline's Bloom
+//     checker counts reads by class and verifies Lemma 4 containment for
+//     every read of an impotent write (aborting with a diagnosis naming the
+//     lemma if it ever fails).
+//
+//   bench_fig4_lemma4 [--json BENCH_fig4.json]
+#include <fstream>
 #include <iostream>
-#include <thread>
+#include <string>
 
 #include "core/protocol.hpp"
-#include "core/two_writer.hpp"
+#include "harness/checkers.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "histories/event_log.hpp"
 #include "histories/workload.hpp"
 #include "linearizability/bloom_linearizer.hpp"
 #include "registers/recording.hpp"
-#include "util/rng.hpp"
-#include "util/sync.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
+namespace harness = bloom87::harness;
 
 namespace {
 
-void deterministic_replay() {
+table deterministic_replay() {
     event_log log(64);
     recording_register reg0(tagged<value_t>{0, false}, &log, 0);
     recording_register reg1(tagged<value_t>{0, false}, &log, 1);
@@ -97,71 +103,49 @@ void deterministic_replay() {
               << " -- every *-action lies inside its operation's interval\n"
               << "(the for-contradiction ordering Ts0 < Ts1 < T0 of Figure 4\n"
               << "is impossible, which is exactly Lemma 4).\n";
+    return t;
 }
 
-void randomized_validation() {
+// Paced harness runs with slow readers (the paper's Section 7.2 reader,
+// injected by the driver's read_paced pacing); the Bloom checker classifies
+// every read and verifies containment per read of an impotent write.
+[[nodiscard]] bool randomized_validation(table* out) {
     std::size_t of_potent = 0, of_impotent = 0, of_initial = 0, histories = 0;
     for (std::uint64_t seed = 0; seed < 16; ++seed) {
-        event_log log(1 << 17);
-        two_writer_register<value_t, recording_register> reg(0, &log);
-        start_gate gate;
-        stop_flag writers_done;
-        auto writer_loop = [&](int index) {
-            rng pace(seed * 3 + static_cast<std::uint64_t>(index));
-            auto& wr = index == 0 ? reg.writer0() : reg.writer1();
-            for (std::uint32_t i = 0; i < 1200; ++i) {
-                const bool stall = pace.chance(1, 10);
-                wr.write_paced(unique_value(static_cast<processor_id>(index), i),
-                               [&] {
-                                   if (stall) {
-                                       std::this_thread::sleep_for(
-                                           std::chrono::microseconds(30));
-                                   }
-                               });
-            }
-        };
-        std::thread a([&] { gate.wait(); writer_loop(0); });
-        std::thread b([&] { gate.wait(); writer_loop(1); });
-        // Slow readers: stall between the tag sample and the final real
-        // read -- the paper's "very slow reader" -- so they sometimes
-        // return impotent writes' values.
-        std::vector<std::thread> rs;
-        for (int r = 0; r < 2; ++r) {
-            rs.emplace_back([&, r] {
-                gate.wait();
-                auto rd = reg.make_reader(static_cast<processor_id>(2 + r));
-                rng pace(seed * 7 + static_cast<std::uint64_t>(r) + 100);
-                while (!writers_done.stop_requested()) {
-                    const bool stall = pace.chance(1, 3);
-                    (void)rd.read_paced([&] {
-                        if (stall) {
-                            std::this_thread::sleep_for(
-                                std::chrono::microseconds(40));
-                        }
-                    });
-                }
-            });
+        harness::run_spec spec;
+        spec.register_name = "bloom/recording";
+        spec.load.writers = 2;
+        spec.load.readers = 2;
+        spec.load.ops_per_writer = 1200;
+        spec.load.ops_per_reader = 1500;
+        spec.load.writer_read_num = 0;  // writers only write, as in the figure
+        spec.seed = seed + 100;
+        spec.collect = harness::collect_mode::gamma;
+        spec.pace.writer_pace_num = 1;
+        spec.pace.writer_pace_den = 10;
+        spec.pace.reader_pace_num = 1;
+        spec.pace.reader_pace_den = 3;  // the very slow reader
+        spec.pace.pause_yields = 256;
+        const harness::run_result res = harness::run(spec);
+        if (!res.ok) {
+            std::cout << "RUN FAILED: " << res.error << "\n";
+            return false;
         }
-        gate.open();
-        a.join();
-        b.join();
-        writers_done.request_stop();
-        for (auto& t : rs) t.join();
-
-        parse_result parsed = parse_history(log.snapshot(), 0);
-        if (!parsed.ok()) {
-            std::cout << "RECORDING DEFECT: " << parsed.error->message << "\n";
-            return;
+        const harness::pipeline_result checks = harness::run_checkers(
+            res.events, spec.initial, {harness::checker_kind::bloom});
+        if (!checks.parsed) {
+            std::cout << "RECORDING DEFECT: " << checks.parse_error << "\n";
+            return false;
         }
-        const bloom_result res = bloom_linearize(parsed.hist);
-        if (!res.ok() || !res.atomic) {
+        const harness::check_verdict& v = checks.verdicts.front();
+        if (!v.ran || !v.pass) {
             std::cout << "LEMMA 4 VIOLATION: "
-                      << (res.ok() ? res.diagnosis : *res.defect) << "\n";
-            return;
+                      << (v.ran ? v.diagnosis : v.skip_reason) << "\n";
+            return false;
         }
-        of_potent += res.reads_of_potent;
-        of_impotent += res.reads_of_impotent;
-        of_initial += res.reads_of_initial;
+        of_potent += v.reads_of_potent;
+        of_impotent += v.reads_of_impotent;
+        of_initial += v.reads_of_initial;
         ++histories;
     }
 
@@ -171,16 +155,41 @@ void randomized_validation() {
            with_commas(of_impotent), with_commas(of_initial),
            "HOLDS for every read (verified per read by the linearizer)"});
     t.print(std::cout);
+    *out = t;
+    return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    harness::flag_parser parser(
+        "bench_fig4_lemma4",
+        "Lemma 4 timing: reads of impotent writes stay contained");
+    std::string json_path;
+    parser.add_string("json", "write a bloom87-harness-v1 report here",
+                      &json_path);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+
     print_banner(std::cout, "FIG4",
                  "Lemma 4 timing: reads of impotent writes stay contained");
     std::cout << "--- deterministic replay: the very slow reader ---\n\n";
-    deterministic_replay();
-    std::cout << "\n--- randomized validation ---\n\n";
-    randomized_validation();
+    const table replay = deterministic_replay();
+    std::cout << "\n--- randomized validation through the harness ---\n\n";
+    table validation({"histories"});
+    if (!randomized_validation(&validation)) return 1;
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "fig4_lemma4");
+        rep.add_table("slow_reader_linearization", replay);
+        rep.add_table("read_class_validation", validation);
+        rep.finish();
+        std::cout << "\nwrote " << json_path << "\n";
+    }
     return 0;
 }

@@ -2,93 +2,88 @@
 //
 // The paper's footnote 3 observes that its "real" 1-writer registers may
 // themselves be simulated from weaker registers. This bench builds Bloom's
-// two-writer register at three substrate depths and measures the cost of
-// each rung:
+// two-writer register at three substrate depths -- all through the harness
+// registry, so every rung pays the same virtual-dispatch constant -- and
+// measures the cost of each:
 //
-//   depth 0: hardware word          (packed_atomic_register)
-//   depth 1: seqlock over words     (arbitrary-size values)
+//   depth 0: hardware word          ("bloom/packed")
+//   depth 1: seqlock over words     ("bloom/seqlock", arbitrary-size values)
 //   depth 2: SWMR simulated from SWSR four-slot registers
-//            (Attiya-Welch-style multi-reader construction over Simpson's
-//             algorithm -- nothing stronger than safe slots + control bits)
+//            ("bloom/fourslot": Attiya-Welch-style multi-reader construction
+//             over Simpson's algorithm -- nothing stronger than safe slots +
+//             control bits)
 //
 // Also reports the SWSR-register budget of depth 2 as readers scale.
-#include <chrono>
+//
+//   bench_fullstack [--json BENCH_fullstack.json]
+#include <fstream>
 #include <iostream>
+#include <string>
 
-#include "core/two_writer.hpp"
-#include "registers/packed_atomic.hpp"
-#include "registers/seqlock.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "registers/swmr_from_swsr.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
+namespace harness = bloom87::harness;
 
 namespace {
 
-template <typename Reg, typename MakeReg>
-void measure_row(table& t, const std::string& name, MakeReg&& make) {
-    auto reg = make();
-    auto rd = reg.make_reader(2);
-    constexpr int iters = 400000;
-
-    auto time_ns = [&](auto&& op) {
-        const auto t0 = std::chrono::steady_clock::now();
-        for (int i = 0; i < iters; ++i) op(i);
-        const auto t1 = std::chrono::steady_clock::now();
-        return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
-    };
-
-    const double w_ns = time_ns([&](int i) {
-        reg.writer0().write(static_cast<std::int64_t>(i));
-    });
-    const double r_ns = time_ns([&](int) { (void)rd.read(); });
-    const double rc_ns =
-        time_ns([&](int) { (void)reg.writer0().read_cached(); });
-
-    t.row({name, fixed(w_ns, 1), fixed(r_ns, 1), fixed(rc_ns, 1)});
+bool measure_row(table& t, const std::string& label,
+                 const std::string& reg_name, std::size_t readers,
+                 std::uint64_t iters) {
+    const harness::latency_result res =
+        harness::measure_latency(reg_name, 2, readers, iters);
+    if (!res.ok) {
+        std::cerr << reg_name << ": " << res.error << "\n";
+        return false;
+    }
+    t.row({label, fixed(res.write_ns, 1), fixed(res.read_ns, 1),
+           res.cached_read_ns >= 0 ? fixed(res.cached_read_ns, 1) : "-"});
+    return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    harness::common_flags flags;
+    harness::flag_parser parser("bench_fullstack",
+                                "the register-simulation ladder, priced");
+    flags.add_to(parser);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+    if (flags.list) {
+        harness::print_register_list(std::cout);
+        return 0;
+    }
+
     print_banner(std::cout, "TAB-G",
                  "Two-writer register over progressively weaker substrates");
 
-    table t({"substrate (depth)", "write ns", "read ns", "cached writer-read ns"});
-
-    measure_row<two_writer_register<std::int64_t, seqlock_register<std::int64_t>>>(
-        t, "hw word via seqlock (depth 1)", [] {
-            return two_writer_register<std::int64_t,
-                                       seqlock_register<std::int64_t>>(0);
-        });
-    measure_row<
-        two_writer_register<std::int32_t, packed_atomic_register<std::int32_t>>>(
-        t, "hw atomic word (depth 0)", [] {
-            return two_writer_register<std::int32_t,
-                                       packed_atomic_register<std::int32_t>>(0);
-        });
+    constexpr std::uint64_t iters = 400000;
+    table t({"substrate (depth)", "write ns", "read ns",
+             "cached writer-read ns"});
+    bool ok = true;
+    ok &= measure_row(t, "hw word via seqlock (depth 1)", "bloom/seqlock", 1,
+                      iters);
+    ok &= measure_row(t, "hw atomic word (depth 0)", "bloom/packed", 1, iters);
     for (std::size_t readers : {1u, 2u, 4u}) {
-        measure_row<
-            two_writer_register<std::int64_t, ported_substrate<std::int64_t>>>(
-            t,
-            "four-slot SWSR stack, n=" + std::to_string(readers) +
-                " (depth 2)",
-            [readers] {
-                return two_writer_register<std::int64_t,
-                                           ported_substrate<std::int64_t>>(
-                    0, [readers](tagged<std::int64_t> init, int reg_index) {
-                        return ported_substrate<std::int64_t>(init, readers,
-                                                              reg_index);
-                    });
-            });
+        ok &= measure_row(t,
+                          "four-slot SWSR stack, n=" + std::to_string(readers) +
+                              " (depth 2)",
+                          "bloom/fourslot", readers, iters);
     }
     t.print(std::cout);
 
     std::cout << "\nSWSR-register budget of the depth-2 stack (per simulated "
               << "register, both real registers):\n\n";
-    table b({"simulated readers n", "ports per real reg", "SWSR registers total"});
+    table b({"simulated readers n", "ports per real reg",
+             "SWSR registers total"});
     for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
-        ported_substrate<std::int64_t> probe(tagged<std::int64_t>{0, false}, n, 0);
+        ported_substrate<std::int64_t> probe(tagged<std::int64_t>{0, false}, n,
+                                             0);
         b.row({std::to_string(n), std::to_string(n + 2),
                with_commas(2 * probe.swsr_register_count())});
     }
@@ -98,5 +93,18 @@ int main() {
               << "roughly by its fan-out (depth 2 read = n+1 SWSR reads + n\n"
               << "SWSR writes per real-register read, three real reads per\n"
               << "simulated read), while preserving wait-freedom.\n";
-    return 0;
+
+    if (!flags.json_path.empty()) {
+        std::ofstream os(flags.json_path);
+        if (!os) {
+            std::cerr << "cannot write " << flags.json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "fullstack");
+        rep.add_table("ladder_latency", t);
+        rep.add_table("swsr_budget", b);
+        rep.finish();
+        std::cout << "wrote " << flags.json_path << "\n";
+    }
+    return ok ? 0 : 1;
 }

@@ -19,10 +19,6 @@
 // across PRs.
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#if defined(__GLIBC__)
-#include <malloc.h>
-#endif
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -30,9 +26,10 @@
 #include <thread>
 #include <vector>
 
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "modelcheck/explorer.hpp"
 #include "modelcheck/processes.hpp"
-#include "util/json.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
@@ -64,13 +61,11 @@ struct timed_result {
 };
 
 timed_result run(const bench_config& c, unsigned threads) {
-#if defined(__GLIBC__)
     // Return the previous configuration's freed heap to the kernel before
     // starting the clock: glibc otherwise charges a one-off consolidation
     // pass (hundreds of ms after a multi-million-state run) to whichever
     // explore() happens to allocate next.
-    malloc_trim(0);
-#endif
+    harness::trim_heap();
     const sim_state s = c.make();
     explore_config cfg;
     cfg.prop = c.prop;
@@ -270,18 +265,15 @@ std::vector<bench_config> make_configs() {
 int main(int argc, char** argv) {
     std::string json_path;
     unsigned threads = 0;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (arg == "--threads" && i + 1 < argc) {
-            threads = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else {
-            std::cerr << "usage: " << argv[0]
-                      << " [--threads N] [--json PATH]\n";
-            return 64;
-        }
-    }
+    harness::flag_parser parser("bench_modelcheck",
+                                "bounded exhaustive verification, both engines");
+    parser.add_string("json", "write a bloom87-harness-v1 report here",
+                      &json_path);
+    parser.add_unsigned("threads",
+                        "parallel-engine thread count (0 = hardware)",
+                        &threads);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     if (threads == 0) threads = hw;
 
@@ -330,60 +322,43 @@ int main(int argc, char** argv) {
     }
 
     if (!json_path.empty()) {
-        // The headline speedup is measured on the largest configuration.
-        const row* largest = &rows.front();
+        // Machine-readable engine comparison: raw (uncomma'd) numbers, one
+        // row per configuration, in the shared bloom87-harness-v1 shape so
+        // the perf trajectory is tracked with the same tooling as every
+        // other bench.
+        table engines({"name", "property", "states", "distinct_histories",
+                       "property_holds", "expected_pass", "verdicts_match",
+                       "threads", "wall_ms_1_thread", "wall_ms_n_threads",
+                       "states_per_sec_1_thread", "states_per_sec_n_threads",
+                       "speedup"});
         for (const row& r : rows) {
-            if (r.seq.res.states_explored > largest->seq.res.states_explored) {
-                largest = &r;
-            }
+            auto per_sec = [](const timed_result& tr) {
+                return tr.ms > 0
+                           ? 1000.0 *
+                                 static_cast<double>(tr.res.states_explored) /
+                                 tr.ms
+                           : 0.0;
+            };
+            engines.row(
+                {r.cfg->name, r.cfg->prop_name,
+                 std::to_string(r.seq.res.states_explored),
+                 std::to_string(r.seq.res.distinct_histories),
+                 r.seq.res.property_holds ? "true" : "false",
+                 r.cfg->expect_pass ? "true" : "false",
+                 r.match ? "true" : "false", std::to_string(threads),
+                 fixed(r.seq.ms, 3), fixed(r.par.ms, 3),
+                 fixed(per_sec(r.seq), 0), fixed(per_sec(r.par), 0),
+                 fixed(r.par.ms > 0 ? r.seq.ms / r.par.ms : 1.0, 3)});
         }
         std::ofstream os(json_path);
         if (!os) {
             std::cerr << "cannot write " << json_path << "\n";
             return 66;
         }
-        json_writer w(os);
-        w.begin_object();
-        w.field("bench", "modelcheck");
-        w.field("threads", threads);
-        w.field("hardware_concurrency", hw);
-        w.field("verdicts_match", all_match);
-        w.key("largest_config").begin_object();
-        w.field("name", largest->cfg->name);
-        w.field("states", largest->seq.res.states_explored);
-        w.field("wall_ms_1_thread", largest->seq.ms);
-        w.field("wall_ms_n_threads", largest->par.ms);
-        w.field("speedup",
-                largest->par.ms > 0 ? largest->seq.ms / largest->par.ms : 1.0);
-        w.end_object();
-        w.key("configs").begin_array();
-        for (const row& r : rows) {
-            w.begin_object();
-            w.field("name", r.cfg->name);
-            w.field("property", r.cfg->prop_name);
-            w.field("states", r.seq.res.states_explored);
-            w.field("distinct_histories", r.seq.res.distinct_histories);
-            w.field("property_holds", r.seq.res.property_holds);
-            w.field("expected_pass", r.cfg->expect_pass);
-            w.field("verdicts_match", r.match);
-            w.field("wall_ms_1_thread", r.seq.ms);
-            w.field("wall_ms_n_threads", r.par.ms);
-            w.field("states_per_sec_1_thread",
-                    r.seq.ms > 0
-                        ? 1000.0 * static_cast<double>(r.seq.res.states_explored) /
-                              r.seq.ms
-                        : 0.0);
-            w.field("states_per_sec_n_threads",
-                    r.par.ms > 0
-                        ? 1000.0 * static_cast<double>(r.par.res.states_explored) /
-                              r.par.ms
-                        : 0.0);
-            w.field("speedup", r.par.ms > 0 ? r.seq.ms / r.par.ms : 1.0);
-            w.end_object();
-        }
-        w.end_array();
-        w.end_object();
-        os << "\n";
+        harness::report_writer rep(os, "modelcheck");
+        rep.add_table("verification_matrix", t);
+        rep.add_table("engine_comparison", engines);
+        rep.finish();
         std::cout << "\nwrote " << json_path << "\n";
     }
     return all_match ? 0 : 1;

@@ -9,19 +9,24 @@
 //      timestamps (2..3 writers) PASS, split-write mutant FAIL;
 //   2. the price of generality for the 2-writer case: Bloom pays one tag
 //      bit and 1 read per write; VA pays a 64-bit timestamp per register
-//      and n reads per write. Measured latency and space side by side.
-#include <chrono>
+//      and n reads per write. Latency measured through the harness registry
+//      (one uniform virtual call per op keeps the comparison honest).
+//
+//   bench_multiwriter [--json BENCH_multiwriter.json]
+#include <fstream>
 #include <iostream>
+#include <string>
 
-#include "core/two_writer.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "modelcheck/explorer.hpp"
 #include "modelcheck/processes.hpp"
-#include "registers/packed_atomic.hpp"
-#include "registers/va_register.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
 using namespace bloom87::mc;
+namespace harness = bloom87::harness;
 
 namespace {
 
@@ -38,9 +43,33 @@ std::string verdict(const explore_result& r) {
            with_commas(r.distinct_histories) + " histories)";
 }
 
+void latency_row(table& t, const std::string& label,
+                 const std::string& reg_name, std::size_t writers,
+                 const std::string& regs, const std::string& bits) {
+    const harness::latency_result res =
+        harness::measure_latency(reg_name, writers, 1, 1000000);
+    if (!res.ok) {
+        t.row({label, "?", "?", regs, bits});
+        std::cerr << reg_name << ": " << res.error << "\n";
+        return;
+    }
+    t.row({label, fixed(res.write_ns, 1), fixed(res.read_ns, 1), regs, bits});
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    harness::common_flags flags;
+    harness::flag_parser parser("bench_multiwriter",
+                                "the Section 8 multi-writer landscape");
+    flags.add_to(parser);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+    if (flags.list) {
+        harness::print_register_list(std::cout);
+        return 0;
+    }
+
     print_banner(std::cout, "TAB-H", "Multi-writer landscape (Section 8)");
 
     table m({"protocol", "writers", "extra state per register", "verdict"});
@@ -76,8 +105,8 @@ int main() {
         s.procs.push_back(make_split_bloom_writer(1, {3, 4}));
         s.procs.push_back(make_split_bloom_reader(2, 2));
         explore_config cfg;
-        m.row({"Bloom with SPLIT value/tag writes", "2", "1 tag bit (separate word)",
-               verdict(explore(s, cfg))});
+        m.row({"Bloom with SPLIT value/tag writes", "2",
+               "1 tag bit (separate word)", verdict(explore(s, cfg))});
     }
     {
         constexpr int n = 2;
@@ -110,46 +139,34 @@ int main() {
     }
     m.print(std::cout);
 
-    std::cout << "\nThe price of Bloom's economy, measured (2 writers, "
-              << "single-threaded ns/op):\n\n";
-    table c({"register", "write ns", "read ns", "registers", "bits beyond value"});
-    constexpr int iters = 1000000;
-    auto time_ns = [&](auto&& op) {
-        const auto t0 = std::chrono::steady_clock::now();
-        for (int i = 0; i < iters; ++i) op(i);
-        const auto t1 = std::chrono::steady_clock::now();
-        return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
-    };
-    {
-        two_writer_register<std::int32_t, packed_atomic_register<std::int32_t>>
-            reg(0);
-        auto rd = reg.make_reader(2);
-        const double w = time_ns([&](int i) { reg.writer0().write(i); });
-        const double r = time_ns([&](int) { (void)rd.read(); });
-        c.row({"Bloom two-writer", fixed(w, 1), fixed(r, 1), "2",
-               "1 (the tag bit)"});
-    }
-    {
-        va_register<std::int32_t> reg(0, 2);
-        auto w0 = reg.make_writer_port(0);
-        const double w = time_ns([&](int i) { w0.write(i); });
-        const double r = time_ns([&](int) { (void)reg.read(); });
-        c.row({"VA timestamps (2 writers)", fixed(w, 1), fixed(r, 1), "2",
-               "96 (64b ts + 32b id)"});
-    }
-    {
-        va_register<std::int32_t> reg(0, 4);
-        auto w0 = reg.make_writer_port(0);
-        const double w = time_ns([&](int i) { w0.write(i); });
-        const double r = time_ns([&](int) { (void)reg.read(); });
-        c.row({"VA timestamps (4 writers)", fixed(w, 1), fixed(r, 1), "4",
-               "96 (64b ts + 32b id)"});
-    }
+    std::cout << "\nThe price of Bloom's economy, measured (single-threaded "
+              << "ns/op\nthrough the harness registry):\n\n";
+    table c({"register", "write ns", "read ns", "registers",
+             "bits beyond value"});
+    latency_row(c, "Bloom two-writer", "bloom/packed", 2, "2",
+                "1 (the tag bit)");
+    latency_row(c, "VA timestamps (2 writers)", "va/seqlock", 2, "2",
+                "96 (64b ts + 32b id)");
+    latency_row(c, "VA timestamps (4 writers)", "va/seqlock", 4, "4",
+                "96 (64b ts + 32b id)");
     c.print(std::cout);
 
     std::cout << "\nExpected shape: the tournament and the split-write mutant\n"
               << "FAIL; VA PASSES for any writer count but pays timestamp\n"
               << "space and n-register scans; Bloom's two-writer economy (one\n"
               << "bit, one extra read) is exactly what the paper contributes.\n";
+
+    if (!flags.json_path.empty()) {
+        std::ofstream os(flags.json_path);
+        if (!os) {
+            std::cerr << "cannot write " << flags.json_path << "\n";
+            return 66;
+        }
+        harness::report_writer rep(os, "multiwriter");
+        rep.add_table("correctness_matrix", m);
+        rep.add_table("latency_price", c);
+        rep.finish();
+        std::cout << "wrote " << flags.json_path << "\n";
+    }
     return 0;
 }

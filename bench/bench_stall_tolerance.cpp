@@ -3,150 +3,87 @@
 // The paper rejects mutual-exclusion designs because "one processor could
 // crash while reading the register and block all further access." This
 // bench stalls one participant for 20 ms -- inside its critical section for
-// the mutex baseline, between its real read and real write for Bloom's
-// protocol -- and measures reader latency during the stall. The mutex
-// reader's worst case tracks the stall; Bloom's readers never notice.
-#include <atomic>
-#include <algorithm>
-#include <chrono>
+// the lock baselines, between its real read and real write for Bloom's
+// protocol, mid-read for a Bloom reader -- and measures reader latency
+// during the stall through the harness (measure_stall). The mutex reader's
+// worst case tracks the stall; Bloom's readers never notice.
+//
+//   bench_stall_tolerance [--json BENCH_stall_tolerance.json]
+#include <fstream>
 #include <iostream>
-#include <thread>
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "baselines/mutex_register.hpp"
-#include "baselines/rwlock_register.hpp"
-#include "core/two_writer.hpp"
-#include "registers/packed_atomic.hpp"
-#include "util/sync.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
-using clock_t_ = std::chrono::steady_clock;
+using namespace bloom87::harness;
 
-namespace {
+int main(int argc, char** argv) {
+    common_flags flags;
+    flag_parser parser("bench_stall_tolerance",
+                       "reader latency while one processor stalls for 20 ms");
+    flags.add_to(parser);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+    if (flags.list) {
+        print_register_list(std::cout);
+        return 0;
+    }
 
-struct latency_stats {
-    double p50_us, p99_us, max_us;
-    std::size_t samples;
-};
-
-latency_stats summarize(std::vector<double>& us) {
-    std::sort(us.begin(), us.end());
-    auto at = [&](double q) {
-        return us[std::min(us.size() - 1,
-                           static_cast<std::size_t>(q * static_cast<double>(us.size())))];
-    };
-    return {at(0.5), at(0.99), us.back(), us.size()};
-}
-
-/// Runs `read_once` repeatedly for `duration_ms` while `stall()` executes
-/// concurrently; returns reader latency stats.
-template <typename ReadFn, typename StallFn>
-latency_stats measure(ReadFn&& read_once, StallFn&& stall, int duration_ms) {
-    std::vector<double> samples;
-    samples.reserve(1 << 20);
-    start_gate gate;
-    stop_flag stop;
-    std::thread staller([&] {
-        gate.wait();
-        stall();
-    });
-    std::thread reader([&] {
-        gate.wait();
-        while (!stop.stop_requested()) {
-            const auto t0 = clock_t_::now();
-            read_once();
-            const auto t1 = clock_t_::now();
-            samples.push_back(
-                std::chrono::duration<double, std::micro>(t1 - t0).count());
-        }
-    });
-    gate.open();
-    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
-    stop.request_stop();
-    staller.join();
-    reader.join();
-    return summarize(samples);
-}
-
-}  // namespace
-
-int main() {
     print_banner(std::cout, "TAB-B",
                  "Reader latency while one processor stalls for 20 ms");
 
-    constexpr int stall_ms = 20;
-    constexpr int run_ms = 60;
+    struct scenario {
+        std::string reg;
+        std::string label;
+        port_role stalled;
+    };
+    const std::vector<scenario> scenarios = {
+        {"baseline/mutex", "lock holder (crashed in CS)", port_role::writer},
+        {"baseline/rwlock", "writer (crashed in CS)", port_role::writer},
+        {"bloom/packed", "writer (stalled mid-write)", port_role::writer},
+        {"bloom/packed", "reader (crashed mid-read)", port_role::reader},
+    };
 
     table t({"register", "stalled processor", "reads", "p50 (us)", "p99 (us)",
              "max (us)"});
-
-    {
-        mutex_register<int> reg(1);
-        auto stats = measure([&] { (void)reg.read(1); },
-                             [&] {
-                                 auto lock = reg.stall();
-                                 std::this_thread::sleep_for(
-                                     std::chrono::milliseconds(stall_ms));
-                             },
-                             run_ms);
-        t.row({"mutex baseline", "lock holder (crashed in CS)",
-               with_commas(stats.samples), fixed(stats.p50_us),
-               fixed(stats.p99_us), fixed(stats.max_us)});
-    }
-    {
-        rwlock_register<int> reg(1);
-        auto stats = measure([&] { (void)reg.read(1); },
-                             [&] {
-                                 auto lock = reg.stall_writer();
-                                 std::this_thread::sleep_for(
-                                     std::chrono::milliseconds(stall_ms));
-                             },
-                             run_ms);
-        t.row({"rw-lock baseline [CHP]", "writer (crashed in CS)",
-               with_commas(stats.samples), fixed(stats.p50_us),
-               fixed(stats.p99_us), fixed(stats.max_us)});
-    }
-    {
-        two_writer_register<int, packed_atomic_register<int>> reg(1);
-        auto rd = reg.make_reader(2);
-        auto stats = measure(
-            [&] { (void)rd.read(); },
-            [&] {
-                reg.writer0().write_paced(42, [&] {
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(stall_ms));
-                });
-            },
-            run_ms);
-        t.row({"Bloom two-writer", "writer (stalled mid-write)",
-               with_commas(stats.samples), fixed(stats.p50_us),
-               fixed(stats.p99_us), fixed(stats.max_us)});
-    }
-    {
-        // Also stall a READER of the Bloom register (a reader holds no
-        // shared state at all, so this is trivially harmless; included for
-        // the paper's "crash while reading" scenario).
-        two_writer_register<int, packed_atomic_register<int>> reg(1);
-        auto rd = reg.make_reader(2);
-        auto slow = reg.make_reader(3);
-        auto stats = measure(
-            [&] { (void)rd.read(); },
-            [&] {
-                // The slow reader samples tags, then "crashes" (never
-                // finishes its read).
-                (void)slow.read();
-                std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
-            },
-            run_ms);
-        t.row({"Bloom two-writer", "reader (crashed mid-read)",
-               with_commas(stats.samples), fixed(stats.p50_us),
-               fixed(stats.p99_us), fixed(stats.max_us)});
+    bool all_ok = true;
+    for (const scenario& s : scenarios) {
+        stall_spec spec;
+        spec.register_name = s.reg;
+        spec.stalled_role = s.stalled;
+        spec.stall_ms = 20;
+        spec.run_ms = 60;
+        const stall_result res = measure_stall(spec);
+        if (!res.ok) {
+            std::cerr << s.reg << ": " << res.error << "\n";
+            all_ok = false;
+            continue;
+        }
+        t.row({s.reg, s.label, with_commas(res.reads), fixed(res.p50_us),
+               fixed(res.p99_us), fixed(res.max_us)});
     }
     t.print(std::cout);
 
     std::cout << "\nExpected shape: the mutex reader's max latency tracks the\n"
               << "20 ms stall; Bloom's readers stay in the microsecond range\n"
               << "no matter who stalls or crashes (wait-freedom).\n";
-    return 0;
+
+    if (!flags.json_path.empty()) {
+        std::ofstream os(flags.json_path);
+        if (!os) {
+            std::cerr << "cannot write " << flags.json_path << "\n";
+            return 66;
+        }
+        report_writer rep(os, "stall_tolerance");
+        rep.add_table("stall_latency", t);
+        rep.finish();
+        std::cout << "wrote " << flags.json_path << "\n";
+    }
+    return all_ok ? 0 : 1;
 }

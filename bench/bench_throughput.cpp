@@ -1,212 +1,104 @@
 // [TAB-C] Throughput scaling with reader count.
 //
-// Reads/sec and writes/sec for Bloom's two-writer register vs the mutex
-// baseline vs a native hardware MRMW atomic word, with both writers
+// Reads/sec and writes/sec for Bloom's two-writer register vs the blocking
+// baselines vs a native hardware MRMW atomic word, with the writers
 // hammering and n ∈ {1, 2, 4, 8} reader threads. The expected shape: Bloom
 // tracks the native atomic within a small constant factor (3 real reads per
 // simulated read) and scales with readers; the mutex collapses under
 // contention.
 //
-//   bench_throughput [--json BENCH_throughput.json]
+// Every configuration is one harness run (src/harness): the registry builds
+// the register by name, the driver owns the threads and the clock.
 //
-// --json writes the measured rows machine-readably for cross-PR tracking.
-#include <atomic>
-#include <chrono>
+//   bench_throughput [--duration-ms N] [--json BENCH_throughput.json]
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "baselines/mutex_register.hpp"
-#include "baselines/native_atomic.hpp"
-#include "baselines/rwlock_register.hpp"
-#include "core/two_writer.hpp"
-#include "registers/packed_atomic.hpp"
-#include "util/json.hpp"
-#include "util/sync.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 #include "util/table.hpp"
 
 using namespace bloom87;
+using namespace bloom87::harness;
 
 namespace {
 
-struct result {
-    double reads_per_sec;
-    double writes_per_sec;
-};
-
-using bench_value = std::int32_t;
-
-template <typename ReadFn, typename WriteFn>
-result run_config(int readers, ReadFn&& make_reader_fn, WriteFn&& write_fn,
-                  int duration_ms) {
-    start_gate gate;
-    stop_flag stop;
-    std::atomic<std::uint64_t> reads{0}, writes{0};
-
-    std::vector<std::thread> pool;
-    for (int w = 0; w < 2; ++w) {
-        pool.emplace_back([&, w] {
-            gate.wait();
-            std::uint64_t local = 0;
-            bench_value v = (w + 1) << 24;
-            while (!stop.stop_requested()) {
-                write_fn(w, v++);
-                ++local;
-            }
-            writes.fetch_add(local);
-        });
-    }
-    for (int r = 0; r < readers; ++r) {
-        pool.emplace_back([&, r] {
-            auto read_once = make_reader_fn(r);
-            gate.wait();
-            std::uint64_t local = 0;
-            while (!stop.stop_requested()) {
-                read_once();
-                ++local;
-            }
-            reads.fetch_add(local);
-        });
-    }
-    gate.open();
-    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
-    stop.request_stop();
-    for (auto& t : pool) t.join();
-    const double secs = duration_ms / 1000.0;
-    return {static_cast<double>(reads.load()) / secs,
-            static_cast<double>(writes.load()) / secs};
-}
-
 std::string mops(double per_sec) { return fixed(per_sec / 1e6, 2); }
-
-struct record {
-    int readers;
-    std::string reg;
-    result res;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else {
-            std::cerr << "usage: " << argv[0] << " [--json PATH]\n";
-            return 64;
-        }
+    common_flags flags;
+    flags.duration_ms = 150;
+    flag_parser parser("bench_throughput",
+                       "throughput vs reader count, 2 writers hammering");
+    flags.add_to(parser);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+    if (flags.list) {
+        print_register_list(std::cout);
+        return 0;
     }
 
     print_banner(std::cout, "TAB-C",
                  "Throughput vs reader count (2 writers hammering)");
-    constexpr int duration_ms = 150;
 
-    std::vector<record> records;
+    const std::vector<std::string> regs = {
+        "bloom/packed", "bloom/seqlock", "baseline/rwlock", "baseline/mutex",
+        "baseline/native"};
+
+    std::unique_ptr<std::ofstream> json_os;
+    std::unique_ptr<report_writer> rep;
+    if (!flags.json_path.empty()) {
+        json_os = std::make_unique<std::ofstream>(flags.json_path);
+        if (!*json_os) {
+            std::cerr << "cannot write " << flags.json_path << "\n";
+            return 66;
+        }
+        rep = std::make_unique<report_writer>(*json_os, "throughput");
+    }
+
     table t({"readers", "register", "reads M/s", "writes M/s"});
-    for (int n : {1, 2, 4, 8}) {
-        {
-            two_writer_register<bench_value, packed_atomic_register<bench_value>> reg(0);
-            auto res = run_config(
-                n,
-                [&](int r) {
-                    return [&reg, port = reg.make_reader(
-                                      static_cast<processor_id>(2 + r))]() mutable {
-                        (void)port.read();
-                    };
-                },
-                [&](int w, bench_value v) {
-                    (w == 0 ? reg.writer0() : reg.writer1()).write(v);
-                },
-                duration_ms);
-            t.row({std::to_string(n), "Bloom two-writer", mops(res.reads_per_sec),
-                   mops(res.writes_per_sec)});
-            records.push_back({n, "Bloom two-writer", res});
-        }
-        {
-            mutex_register<bench_value> reg(0);
-            auto res = run_config(
-                n,
-                [&](int r) {
-                    return [&reg, p = static_cast<processor_id>(2 + r)]() {
-                        (void)reg.read(p);
-                    };
-                },
-                [&](int w, bench_value v) {
-                    reg.write(v, static_cast<processor_id>(w));
-                },
-                duration_ms);
-            t.row({std::to_string(n), "mutex baseline", mops(res.reads_per_sec),
-                   mops(res.writes_per_sec)});
-            records.push_back({n, "mutex baseline", res});
-        }
-        {
-            rwlock_register<bench_value> reg(0);
-            auto res = run_config(
-                n,
-                [&](int r) {
-                    return [&reg, p = static_cast<processor_id>(2 + r)]() {
-                        (void)reg.read(p);
-                    };
-                },
-                [&](int w, bench_value v) {
-                    reg.write(v, static_cast<processor_id>(w));
-                },
-                duration_ms);
-            t.row({std::to_string(n), "rw-lock baseline [CHP]",
-                   mops(res.reads_per_sec), mops(res.writes_per_sec)});
-            records.push_back({n, "rw-lock baseline [CHP]", res});
-        }
-        {
-            native_atomic_register<bench_value> reg(0);
-            auto res = run_config(
-                n,
-                [&](int r) {
-                    return [&reg, p = static_cast<processor_id>(2 + r)]() {
-                        (void)reg.read(p);
-                    };
-                },
-                [&](int w, bench_value v) {
-                    reg.write(v, static_cast<processor_id>(w));
-                },
-                duration_ms);
-            t.row({std::to_string(n), "native MRMW atomic",
-                   mops(res.reads_per_sec), mops(res.writes_per_sec)});
-            records.push_back({n, "native MRMW atomic", res});
+    bool all_ok = true;
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        for (const std::string& name : regs) {
+            run_spec spec;
+            spec.register_name = name;
+            spec.load.writers = 2;
+            spec.load.readers = n;
+            spec.seed = flags.seed;
+            spec.duration_ms = flags.duration_ms;
+            spec.warmup_ms = flags.duration_ms / 5;
+            const run_result res = run(spec);
+            if (!res.ok) {
+                std::cerr << name << ": " << res.error << "\n";
+                all_ok = false;
+                continue;
+            }
+            const double reads_ps =
+                res.measured_s > 0
+                    ? static_cast<double>(res.total_reads) / res.measured_s
+                    : 0.0;
+            const double writes_ps =
+                res.measured_s > 0
+                    ? static_cast<double>(res.total_writes) / res.measured_s
+                    : 0.0;
+            t.row({std::to_string(n), name, mops(reads_ps), mops(writes_ps)});
+            if (rep) rep->add_run(spec, res);
         }
     }
     t.print(std::cout);
-    std::cout << "\nExpected shape: Bloom within a small constant of the native\n"
-              << "word (3 real reads per simulated read), both scaling with\n"
-              << "readers; the mutex baseline collapses under contention.\n";
+    std::cout << "\n(per-simulated-op cost: a Bloom read is 3 real reads, a "
+                 "Bloom write 2-3 real accesses; the native word is the "
+                 "hardware ceiling)\n";
 
-    if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        if (!os) {
-            std::cerr << "cannot write " << json_path << "\n";
-            return 66;
-        }
-        json_writer w(os);
-        w.begin_object();
-        w.field("bench", "throughput");
-        w.field("duration_ms", duration_ms);
-        w.field("hardware_concurrency", std::thread::hardware_concurrency());
-        w.key("rows").begin_array();
-        for (const record& r : records) {
-            w.begin_object();
-            w.field("readers", r.readers);
-            w.field("register", r.reg);
-            w.field("reads_per_sec", r.res.reads_per_sec);
-            w.field("writes_per_sec", r.res.writes_per_sec);
-            w.end_object();
-        }
-        w.end_array();
-        w.end_object();
-        os << "\n";
-        std::cout << "wrote " << json_path << "\n";
+    if (rep) {
+        rep->finish();
+        std::cout << "wrote " << flags.json_path << "\n";
     }
-    return 0;
+    return all_ok ? 0 : 1;
 }

@@ -5,68 +5,48 @@
 //   check_history check  [file]      # check a gamma file (default: stdin)
 //
 // `record` runs a short concurrent execution of the two-writer register
-// over the recording substrate and prints it in the serialized gamma format
-// (pipe to a file to archive). `check` parses a gamma file and runs all
-// applicable checkers: history well-formedness, the paper's constructive
-// linearizer (with per-lemma diagnostics), and the polynomial register
-// checker. Exit status: 0 atomic, 2 not atomic, 1 malformed input.
+// through the run harness (recording substrate, paced writers and a slow
+// reader) and prints it in the serialized gamma format (pipe to a file to
+// archive). `check` parses a gamma file and runs all applicable checkers:
+// history well-formedness, the paper's constructive linearizer (with
+// per-lemma diagnostics), and the polynomial register checker. Exit
+// status: 0 atomic, 2 not atomic, 1 malformed input.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <thread>
 
-#include "core/two_writer.hpp"
-#include "histories/event_log.hpp"
+#include "harness/driver.hpp"
 #include "histories/serialize.hpp"
 #include "histories/stats.hpp"
-#include "histories/workload.hpp"
 #include "linearizability/bloom_linearizer.hpp"
 #include "linearizability/fast_register.hpp"
-#include "registers/recording.hpp"
-#include "util/rng.hpp"
-#include "util/sync.hpp"
 
 using namespace bloom87;
 
 namespace {
 
 int do_record(std::uint64_t seed) {
-    event_log log(1 << 14);
-    two_writer_register<value_t, recording_register> reg(0, &log);
-    start_gate gate;
-    auto writer_loop = [&](int index) {
-        rng pace(seed * 2 + static_cast<std::uint64_t>(index));
-        auto& wr = index == 0 ? reg.writer0() : reg.writer1();
-        for (std::uint32_t i = 0; i < 40; ++i) {
-            const bool stall = pace.chance(1, 6);
-            wr.write_paced(unique_value(static_cast<processor_id>(index), i), [&] {
-                if (stall) {
-                    std::this_thread::sleep_for(std::chrono::microseconds(40));
-                }
-            });
-        }
-    };
-    std::thread t0([&] { gate.wait(); writer_loop(0); });
-    std::thread t1([&] { gate.wait(); writer_loop(1); });
-    std::thread t2([&] {
-        gate.wait();
-        auto rd = reg.make_reader(2);
-        rng pace(seed + 77);
-        for (int i = 0; i < 60; ++i) {
-            (void)rd.read_paced([&] {
-                if (pace.chance(1, 4)) {
-                    std::this_thread::sleep_for(std::chrono::microseconds(30));
-                }
-            });
-            std::this_thread::sleep_for(std::chrono::microseconds(10));
-        }
-    });
-    gate.open();
-    t0.join();
-    t1.join();
-    t2.join();
-    write_gamma(std::cout, log.snapshot(), 0);
+    harness::run_spec spec;
+    spec.register_name = "bloom/recording";
+    spec.load.writers = 2;
+    spec.load.readers = 1;
+    spec.load.ops_per_writer = 40;
+    spec.load.ops_per_reader = 60;
+    spec.load.writer_read_num = 0;  // writers only write here
+    spec.seed = seed;
+    spec.collect = harness::collect_mode::gamma;
+    spec.pace.writer_pace_num = 1;
+    spec.pace.writer_pace_den = 6;
+    spec.pace.reader_pace_num = 1;
+    spec.pace.reader_pace_den = 4;
+    spec.pace.pause_yields = 128;
+    const harness::run_result run = harness::run(spec);
+    if (!run.ok) {
+        std::fprintf(stderr, "run failed: %s\n", run.error.c_str());
+        return 1;
+    }
+    write_gamma(std::cout, run.events, 0);
     return 0;
 }
 

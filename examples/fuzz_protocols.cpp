@@ -1,170 +1,161 @@
 // fuzz_protocols: long-running randomized torture for the whole stack.
 //
-// Each round draws a random configuration (workload mix, pacing, reader
-// count, crash pattern, substrate), runs a recorded multi-threaded
-// execution, and verifies it with the constructive linearizer and the
-// polynomial checker. Any disagreement or violation stops the run with the
-// serialized gamma so it can be replayed through check_history.
+// Each round draws a random harness configuration PER REGISTRY ENTRY --
+// workload mix, reader count, pacing, crash pattern, cached reads, thread
+// or seeded schedule -- runs it through the one workload driver, and feeds
+// the recorded history to the full checker pipeline. Registers the registry
+// marks atomic must pass every checker that applies; the known-broken
+// tournament is allowed (and over enough rounds expected) to fail. Any
+// unexpected verdict stops the run with the serialized gamma so it can be
+// replayed through check_history.
 //
 // Usage: fuzz_protocols [rounds] [base_seed]     (defaults: 50, 1)
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
-#include <thread>
-#include <vector>
 
-#include "core/two_writer.hpp"
-#include "histories/event_log.hpp"
+#include "harness/checkers.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
 #include "histories/serialize.hpp"
-#include "histories/workload.hpp"
-#include "linearizability/bloom_linearizer.hpp"
-#include "linearizability/fast_register.hpp"
-#include "registers/recording.hpp"
 #include "util/rng.hpp"
-#include "util/sync.hpp"
 
 using namespace bloom87;
+using namespace bloom87::harness;
 
 namespace {
 
-struct round_config {
-    std::size_t readers;
-    std::uint32_t writes_per_writer;
-    int reads_per_reader;
-    std::uint64_t writer_stall_num;   // stall probability numerator /32
-    std::uint64_t reader_stall_num;
-    bool inject_crashes;
-    bool use_cached_reads;
-};
-
-round_config draw_config(rng& gen) {
-    round_config c;
-    c.readers = 1 + gen.below(4);
-    c.writes_per_writer = 200 + static_cast<std::uint32_t>(gen.below(1800));
-    c.reads_per_reader = 200 + static_cast<int>(gen.below(1800));
-    c.writer_stall_num = gen.below(6);
-    c.reader_stall_num = gen.below(8);
-    c.inject_crashes = gen.chance(1, 3);
-    c.use_cached_reads = gen.chance(1, 3);
-    return c;
+run_spec draw_spec(const registry_entry& e, rng& gen, std::uint64_t seed) {
+    run_spec spec;
+    spec.register_name = e.info.name;
+    spec.seed = seed;
+    // Writer count anywhere in the entry's range, capped at min+3 so the
+    // 16-writer baselines don't dominate the round.
+    const std::size_t wmax =
+        std::min(e.info.max_writers, e.info.min_writers + 3);
+    spec.load.writers =
+        e.info.min_writers + gen.below(wmax - e.info.min_writers + 1);
+    spec.load.readers = 1 + gen.below(4);
+    spec.load.ops_per_writer = 100 + gen.below(400);
+    spec.load.ops_per_reader = 100 + gen.below(400);
+    spec.collect = e.info.requires_log ? collect_mode::gamma
+                                       : collect_mode::per_thread;
+    spec.schedule = gen.chance(1, 3) ? schedule_mode::seeded
+                                     : schedule_mode::threads;
+    spec.pace.writer_pace_num = gen.below(6);
+    spec.pace.writer_pace_den = 32;
+    spec.pace.reader_pace_num = gen.below(8);
+    spec.pace.reader_pace_den = 32;
+    spec.pace.pause_yields = 32 + static_cast<unsigned>(gen.below(224));
+    if (gen.chance(1, 3)) {
+        spec.pace.crash_num = 1;
+        spec.pace.crash_den = 40;
+    }
+    spec.cached_writer_reads = gen.chance(1, 3);
+    return spec;
 }
 
-bool run_round(std::uint64_t seed, const round_config& cfg) {
-    const std::size_t expected_events =
-        2 * cfg.writes_per_writer * 4 +
-        cfg.readers * static_cast<std::size_t>(cfg.reads_per_reader) * 5 +
-        2 * cfg.writes_per_writer * 2;  // headroom for cached writer reads
-    event_log log(expected_events * 2 + 1024);
-    two_writer_register<value_t, recording_register> reg(0, &log);
-    start_gate gate;
+/// Every checker that can apply: the pipeline itself skips the exhaustive
+/// search over 62 ops, the Bloom linearizer without real accesses, and
+/// regular/safe with several writing processors. The Bloom linearizer is
+/// additionally dropped when the run used cached writer reads -- the
+/// Section 5 cache serves a read with 1-2 real reads, not the canonical 3
+/// the constructive proof keys on.
+std::vector<checker_kind> checkers_for(const run_spec& spec) {
+    std::vector<checker_kind> kinds = {
+        checker_kind::fast,    checker_kind::exhaustive,
+        checker_kind::monitor, checker_kind::regular,
+        checker_kind::safe};
+    if (!spec.cached_writer_reads) kinds.push_back(checker_kind::bloom);
+    return kinds;
+}
 
-    std::vector<std::thread> pool;
-    for (int w = 0; w < 2; ++w) {
-        pool.emplace_back([&, w] {
-            rng pace(seed * 7 + static_cast<std::uint64_t>(w));
-            auto& wr = w == 0 ? reg.writer0() : reg.writer1();
-            gate.wait();
-            for (std::uint32_t i = 0; i < cfg.writes_per_writer; ++i) {
-                const value_t v = unique_value(static_cast<processor_id>(w), i);
-                if (cfg.inject_crashes && pace.chance(1, 40)) {
-                    wr.write_crashed(
-                        v, static_cast<crash_point>(pace.below(3)));
-                    continue;
-                }
-                const bool stall = pace.chance(cfg.writer_stall_num, 32);
-                wr.write_paced(v, [&] {
-                    if (stall) {
-                        std::this_thread::sleep_for(
-                            std::chrono::microseconds(20));
-                    }
-                });
-                if (cfg.use_cached_reads && pace.chance(1, 10)) {
-                    (void)wr.read_cached();
-                }
-            }
-        });
-    }
-    for (std::size_t r = 0; r < cfg.readers; ++r) {
-        pool.emplace_back([&, r] {
-            rng pace(seed * 13 + static_cast<std::uint64_t>(r) + 100);
-            auto rd = reg.make_reader(static_cast<processor_id>(2 + r));
-            gate.wait();
-            for (int i = 0; i < cfg.reads_per_reader; ++i) {
-                const bool stall = pace.chance(cfg.reader_stall_num, 32);
-                (void)rd.read_paced([&] {
-                    if (stall) {
-                        std::this_thread::sleep_for(
-                            std::chrono::microseconds(25));
-                    }
-                });
-            }
-        });
-    }
-    gate.open();
-    for (auto& t : pool) t.join();
-
-    if (log.overflowed()) {
-        std::fprintf(stderr, "seed %llu: LOG OVERFLOW (harness bug)\n",
-                     static_cast<unsigned long long>(seed));
+bool run_round(const registry_entry& e, const run_spec& spec,
+               std::uint64_t* tournament_violations) {
+    const run_result res = run(spec);
+    if (!res.ok) {
+        std::fprintf(stderr, "%s seed %llu: RUN FAILED: %s\n",
+                     e.info.name.c_str(),
+                     static_cast<unsigned long long>(spec.seed),
+                     res.error.c_str());
         return false;
     }
-    const std::vector<event> gamma = log.snapshot();
-    parse_result parsed = parse_history(gamma, 0);
-    if (!parsed.ok()) {
-        std::fprintf(stderr, "seed %llu: MALFORMED GAMMA: %s\n",
-                     static_cast<unsigned long long>(seed),
-                     parsed.error->message.c_str());
-        write_gamma(std::cerr, gamma, 0);
+    if (res.log_overflowed) {
+        std::fprintf(stderr, "%s seed %llu: LOG OVERFLOW (harness bug)\n",
+                     e.info.name.c_str(),
+                     static_cast<unsigned long long>(spec.seed));
         return false;
     }
-
-    const auto fast = check_fast(parsed.hist.ops, 0);
-    const bool fast_ok = fast.ok() && fast.linearizable;
-
-    bool constructive_ok = true;
-    if (!cfg.use_cached_reads) {
-        // The constructive linearizer expects the canonical 3-read shape.
-        const bloom_result res = bloom_linearize(parsed.hist);
-        constructive_ok = res.ok() && res.atomic;
-        if (!constructive_ok) {
-            std::fprintf(stderr, "seed %llu: CONSTRUCTIVE FAILED: %s\n",
-                         static_cast<unsigned long long>(seed),
-                         res.ok() ? res.diagnosis.c_str()
-                                  : res.defect->c_str());
+    const pipeline_result checks =
+        run_checkers(res.events, spec.initial, checkers_for(spec));
+    if (!checks.parsed) {
+        std::fprintf(stderr, "%s seed %llu: MALFORMED GAMMA: %s\n",
+                     e.info.name.c_str(),
+                     static_cast<unsigned long long>(spec.seed),
+                     checks.parse_error.c_str());
+        write_gamma(std::cerr, res.events, spec.initial);
+        return false;
+    }
+    if (checks.all_pass()) return true;
+    if (!e.info.expected_atomic) {
+        // The broken tournament failing its checkers is the EXPECTED
+        // outcome -- count it as evidence the pipeline has teeth.
+        ++*tournament_violations;
+        return true;
+    }
+    for (const check_verdict& v : checks.verdicts) {
+        if (v.ran && !v.pass) {
+            std::fprintf(stderr, "%s seed %llu: %s FAILED: %s\n",
+                         e.info.name.c_str(),
+                         static_cast<unsigned long long>(spec.seed),
+                         checker_name(v.kind).c_str(), v.diagnosis.c_str());
         }
     }
-    if (!fast_ok) {
-        std::fprintf(stderr, "seed %llu: FAST CHECKER FAILED: %s\n",
-                     static_cast<unsigned long long>(seed),
-                     fast.ok() ? fast.diagnosis.c_str() : fast.defect->c_str());
-    }
-    if (!fast_ok || !constructive_ok) {
-        write_gamma(std::cerr, gamma, 0);
-        return false;
-    }
-    return true;
+    write_gamma(std::cerr, res.events, spec.initial);
+    return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    const int rounds = argc > 1 ? std::atoi(argv[1]) : 50;
-    const std::uint64_t base_seed =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+    std::uint64_t rounds = 50;
+    std::uint64_t base_seed = 1;
+    flag_parser parser("fuzz_protocols",
+                       "randomized registry-wide torture through the harness");
+    parser.add_positional("rounds", "fuzzing rounds", &rounds);
+    parser.add_positional("base_seed", "base workload seed", &base_seed);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
 
     rng meta(base_seed);
-    for (int round = 0; round < rounds; ++round) {
-        const std::uint64_t seed = base_seed * 100000 + static_cast<std::uint64_t>(round);
-        const round_config cfg = draw_config(meta);
-        if (!run_round(seed, cfg)) {
-            std::fprintf(stderr, "FUZZING FOUND A FAILURE at round %d\n", round);
-            return 1;
+    std::uint64_t runs = 0;
+    std::uint64_t tournament_violations = 0;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        for (const registry_entry& e : registry()) {
+            const std::uint64_t seed = base_seed * 100000 + runs;
+            const run_spec spec = draw_spec(e, meta, seed);
+            if (!run_round(e, spec, &tournament_violations)) {
+                std::fprintf(stderr,
+                             "FUZZING FOUND A FAILURE at round %llu (%s)\n",
+                             static_cast<unsigned long long>(round),
+                             e.info.name.c_str());
+                return 1;
+            }
+            ++runs;
         }
         if ((round + 1) % 10 == 0) {
-            std::printf("fuzz: %d/%d rounds clean\n", round + 1, rounds);
+            std::printf("fuzz: %llu/%llu rounds clean (%llu runs)\n",
+                        static_cast<unsigned long long>(round + 1),
+                        static_cast<unsigned long long>(rounds),
+                        static_cast<unsigned long long>(runs));
             std::fflush(stdout);
         }
     }
-    std::printf("fuzz: all %d rounds clean (atomic everywhere)\n", rounds);
+    std::printf(
+        "fuzz: all %llu rounds clean (%llu runs; tournament rejected in "
+        "%llu)\n",
+        static_cast<unsigned long long>(rounds),
+        static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(tournament_violations));
     return 0;
 }

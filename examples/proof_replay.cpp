@@ -1,61 +1,41 @@
 // proof_replay: watch the paper's proof run on a live execution.
 //
 // Records a real multi-threaded execution of the two-writer register
-// through the recording substrate, then runs the constructive linearizer
-// (Section 7 of the paper, as code) and prints what the proof "saw":
-// potency classification, prefinishers, read classes, and the final
-// linearization order with every operation's linearization point.
+// through the run harness (recording substrate, paced writers so impotent
+// writes actually occur, one slow reader), then runs the constructive
+// linearizer (Section 7 of the paper, as code) and prints what the proof
+// "saw": potency classification, prefinishers, read classes, and the
+// final linearization order with every operation's linearization point.
 #include <cstdio>
-#include <thread>
 
-#include "core/two_writer.hpp"
-#include "histories/event_log.hpp"
-#include "histories/workload.hpp"
+#include "harness/driver.hpp"
 #include "linearizability/bloom_linearizer.hpp"
-#include "registers/recording.hpp"
-#include "util/rng.hpp"
-#include "util/sync.hpp"
 
 using namespace bloom87;
 
 int main() {
-    event_log log(1 << 12);
-    two_writer_register<value_t, recording_register> reg(0, &log);
-    start_gate gate;
+    // A handful of operations each -- small enough to print whole.
+    harness::run_spec spec;
+    spec.register_name = "bloom/recording";
+    spec.load.writers = 2;
+    spec.load.readers = 1;
+    spec.load.ops_per_writer = 8;
+    spec.load.ops_per_reader = 8;
+    spec.load.writer_read_num = 0;  // writers only write here
+    spec.seed = 41;
+    spec.collect = harness::collect_mode::gamma;
+    spec.pace.writer_pace_num = 1;
+    spec.pace.writer_pace_den = 2;
+    spec.pace.reader_pace_num = 1;
+    spec.pace.reader_pace_den = 2;
+    spec.pace.pause_yields = 192;
+    const harness::run_result run = harness::run(spec);
+    if (!run.ok) {
+        std::printf("run failed: %s\n", run.error.c_str());
+        return 1;
+    }
 
-    // Two paced writers (so impotent writes actually occur) and one slow
-    // reader, a handful of operations each -- small enough to print whole.
-    auto writer_loop = [&](int index) {
-        rng pace(41 + static_cast<std::uint64_t>(index));
-        auto& wr = index == 0 ? reg.writer0() : reg.writer1();
-        for (std::uint32_t i = 0; i < 8; ++i) {
-            wr.write_paced(unique_value(static_cast<processor_id>(index), i), [&] {
-                if (pace.chance(1, 2)) {
-                    std::this_thread::sleep_for(std::chrono::microseconds(60));
-                }
-            });
-        }
-    };
-    std::thread t0([&] { gate.wait(); writer_loop(0); });
-    std::thread t1([&] { gate.wait(); writer_loop(1); });
-    std::thread t2([&] {
-        gate.wait();
-        auto rd = reg.make_reader(2);
-        rng pace(99);
-        for (int i = 0; i < 8; ++i) {
-            (void)rd.read_paced([&] {
-                if (pace.chance(1, 2)) {
-                    std::this_thread::sleep_for(std::chrono::microseconds(80));
-                }
-            });
-        }
-    });
-    gate.open();
-    t0.join();
-    t1.join();
-    t2.join();
-
-    parse_result parsed = parse_history(log.snapshot(), 0);
+    parse_result parsed = parse_history(run.events, 0);
     if (!parsed.ok()) {
         std::printf("recording malformed: %s\n", parsed.error->message.c_str());
         return 1;

@@ -1,49 +1,94 @@
-// quickstart: the two-writer atomic register in thirty lines.
+// quickstart: drive any registered register and check it, in one command.
 //
-// Two writer threads and a few reader threads share one register; the
-// protocol gives every operation a single linearization point without any
-// locking -- exactly the guarantee of Bloom (PODC 1987).
+// The harness (src/harness) builds a register by name, runs a scripted
+// concurrent workload against it, records the external schedule, and hands
+// the history to the checker pipeline -- the guarantee of Bloom (PODC 1987),
+// demonstrated end to end:
 //
-// Build & run:  ./build/examples/quickstart
+//   ./build/examples/quickstart                          # defaults
+//   ./build/examples/quickstart --list                   # what can I run?
+//   ./build/examples/quickstart --register baseline/mutex --readers 8
+//   ./build/examples/quickstart --check fast,monitor --json BENCH_harness.json
 #include <cstdio>
-#include <thread>
-#include <vector>
+#include <iostream>
 
-#include "core/two_writer.hpp"
-#include "registers/packed_atomic.hpp"
+#include "harness/checkers.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
 
-int main() {
-    using reg_t = bloom87::two_writer_register<
-        int, bloom87::packed_atomic_register<int>>;
-    reg_t reg(0);  // initial value 0
+using namespace bloom87;
+using namespace bloom87::harness;
 
-    std::thread writer_a([&] {
-        for (int v = 1; v <= 1000; ++v) reg.writer0().write(v * 2);
-    });
-    std::thread writer_b([&] {
-        for (int v = 1; v <= 1000; ++v) reg.writer1().write(v * 2 + 1);
-    });
-
-    std::vector<std::thread> readers;
-    for (int r = 0; r < 3; ++r) {
-        readers.emplace_back([&, r] {
-            auto port = reg.make_reader(static_cast<bloom87::processor_id>(2 + r));
-            long long sum = 0;
-            int last = 0;
-            for (int i = 0; i < 1000; ++i) {
-                last = port.read();
-                sum += last;
-            }
-            std::printf("reader %d: last value %d, sum %lld\n", r, last, sum);
-        });
+int main(int argc, char** argv) {
+    common_flags flags;
+    flags.readers = 3;
+    flags.ops = 400;
+    flag_parser parser("quickstart",
+                       "run one register through the harness and check it");
+    flags.add_to(parser);
+    if (!parser.parse(argc, argv)) return 64;
+    if (parser.help_requested()) return 0;
+    if (flags.list) {
+        print_register_list(std::cout);
+        return 0;
     }
 
-    writer_a.join();
-    writer_b.join();
-    for (auto& t : readers) t.join();
+    std::string err;
+    const auto kinds = parse_checker_list(flags.check, &err);
+    if (!kinds) {
+        std::cerr << "bad --check list: " << err << "\n";
+        return 64;
+    }
 
-    auto port = reg.make_reader(5);
-    std::printf("final value: %d (2000 if writer0 landed last, 2001 if writer1)\n",
-                port.read());
+    const run_spec spec = flags.to_spec();
+    const run_result result = run(spec);
+    if (!result.ok) {
+        std::cerr << "run failed: " << result.error << "\n";
+        return 1;
+    }
+
+    std::printf("%s: %llu writes + %llu reads across %zu threads in %.2f ms\n",
+                spec.register_name.c_str(),
+                static_cast<unsigned long long>(result.total_writes),
+                static_cast<unsigned long long>(result.total_reads),
+                result.threads.size(), result.measured_s * 1e3);
+
+    const pipeline_result checks =
+        run_checkers(result.events, spec.initial, *kinds);
+    if (!checks.parsed) {
+        std::cerr << "recorded history failed to parse: " << checks.parse_error
+                  << "\n";
+        return 1;
+    }
+    for (const check_verdict& v : checks.verdicts) {
+        if (!v.ran) {
+            std::printf("  %-10s skipped: %s\n", checker_name(v.kind).c_str(),
+                        v.skip_reason.c_str());
+        } else if (v.pass) {
+            std::printf("  %-10s ATOMIC (%.2f ms)\n",
+                        checker_name(v.kind).c_str(), v.millis);
+        } else {
+            std::printf("  %-10s VIOLATION (%.2f ms): %s\n",
+                        checker_name(v.kind).c_str(), v.millis,
+                        v.diagnosis.c_str());
+        }
+    }
+
+    if (!flags.json_path.empty() &&
+        !write_report_file(flags.json_path, "quickstart", spec, result,
+                           &checks)) {
+        return 66;
+    }
+
+    // The known-broken tournament is EXPECTED to fail its checkers; every
+    // other registered register must pass.
+    if (result.info.expected_atomic && !checks.all_pass()) {
+        std::printf("UNEXPECTED: %s failed atomicity checking\n",
+                    spec.register_name.c_str());
+        return 1;
+    }
+    std::printf("done: history of %zu operations, verdicts as expected\n",
+                checks.operations);
     return 0;
 }

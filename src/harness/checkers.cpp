@@ -1,0 +1,225 @@
+#include "harness/checkers.hpp"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "linearizability/bloom_linearizer.hpp"
+#include "linearizability/exhaustive.hpp"
+#include "linearizability/fast_register.hpp"
+#include "linearizability/monitor.hpp"
+#include "linearizability/regularity.hpp"
+
+namespace bloom87::harness {
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(steady::time_point t0) {
+    return std::chrono::duration<double, std::milli>(steady::now() - t0)
+        .count();
+}
+
+/// Exhaustive search is sound only up to this many operations.
+constexpr std::size_t exhaustive_limit = 62;
+
+[[nodiscard]] std::size_t writing_processors(const history& h) {
+    std::set<processor_id> procs;
+    for (const operation& op : h.ops) {
+        if (op.kind == op_kind::write) procs.insert(op.id.processor);
+    }
+    return procs.size();
+}
+
+[[nodiscard]] bool has_real_accesses(const history& h) {
+    for (const event& e : h.gamma) {
+        if (is_real(e.kind)) return true;
+    }
+    return false;
+}
+
+/// Replays the external schedule through the runtime monitor, exactly as an
+/// application embedding it would: one port per processor, begin/end around
+/// every operation, abandon() when a processor recovered from a crash.
+[[nodiscard]] monitor_verdict replay_monitor(const history& h,
+                                             value_t initial) {
+    atomicity_monitor mon(initial, h.gamma.size() + 16);
+    std::map<processor_id, atomicity_monitor::port> ports;
+    std::map<processor_id, bool> open;
+    for (const event& e : h.gamma) {
+        if (is_real(e.kind)) continue;
+        auto it = ports.find(e.processor);
+        if (it == ports.end()) {
+            it = ports.emplace(e.processor, mon.make_port(e.processor)).first;
+        }
+        atomicity_monitor::port& port = it->second;
+        switch (e.kind) {
+            case event_kind::sim_invoke_write:
+                if (open[e.processor]) port.abandon();
+                port.begin_write(e.value);
+                open[e.processor] = true;
+                break;
+            case event_kind::sim_invoke_read:
+                if (open[e.processor]) port.abandon();
+                port.begin_read();
+                open[e.processor] = true;
+                break;
+            case event_kind::sim_respond_write:
+                port.end_write();
+                open[e.processor] = false;
+                break;
+            case event_kind::sim_respond_read:
+                port.end_read(e.value);
+                open[e.processor] = false;
+                break;
+            default:
+                break;
+        }
+    }
+    return mon.verify();
+}
+
+check_verdict run_one(checker_kind kind, const history& h, value_t initial) {
+    check_verdict v;
+    v.kind = kind;
+    const steady::time_point t0 = steady::now();
+    switch (kind) {
+        case checker_kind::bloom: {
+            if (!has_real_accesses(h)) {
+                v.skip_reason =
+                    "needs real-register accesses (record through "
+                    "bloom/recording)";
+                return v;
+            }
+            const bloom_result r = bloom_linearize(h);
+            v.ran = true;
+            v.pass = r.ok() && r.atomic;
+            if (!v.pass) {
+                v.diagnosis = r.defect.has_value() ? *r.defect : r.diagnosis;
+            }
+            v.impotent_writes = r.impotent_count;
+            v.potent_writes = r.potent_count;
+            v.reads_of_potent = r.reads_of_potent;
+            v.reads_of_impotent = r.reads_of_impotent;
+            v.reads_of_initial = r.reads_of_initial;
+            break;
+        }
+        case checker_kind::fast: {
+            const fast_check_result r = check_fast(h.ops, initial);
+            v.ran = true;
+            v.pass = r.ok() && r.linearizable;
+            if (!v.pass) {
+                v.diagnosis = r.defect.has_value() ? *r.defect : r.diagnosis;
+            }
+            break;
+        }
+        case checker_kind::exhaustive: {
+            if (h.ops.size() > exhaustive_limit) {
+                v.skip_reason = "history has " + std::to_string(h.ops.size()) +
+                                " ops (exhaustive limit " +
+                                std::to_string(exhaustive_limit) + ")";
+                return v;
+            }
+            const exhaustive_result r = check_exhaustive(h.ops, initial);
+            v.ran = true;
+            v.pass = r.ok() && r.linearizable;
+            if (!v.pass && r.defect.has_value()) v.diagnosis = *r.defect;
+            else if (!v.pass) v.diagnosis = "no linearization found";
+            break;
+        }
+        case checker_kind::monitor: {
+            const monitor_verdict r = replay_monitor(h, initial);
+            v.ran = true;
+            v.pass = r.atomic;
+            if (!v.pass) v.diagnosis = r.diagnosis;
+            break;
+        }
+        case checker_kind::regular:
+        case checker_kind::safe: {
+            if (writing_processors(h) > 1) {
+                v.skip_reason = "regularity/safety are single-writer notions";
+                return v;
+            }
+            const regularity_result r = kind == checker_kind::regular
+                                            ? check_regular_swmr(h.ops, initial)
+                                            : check_safe_swmr(h.ops, initial);
+            v.ran = true;
+            v.pass = r.regular;
+            if (!v.pass) v.diagnosis = r.diagnosis;
+            break;
+        }
+    }
+    v.millis = ms_since(t0);
+    return v;
+}
+
+}  // namespace
+
+std::string checker_name(checker_kind k) {
+    switch (k) {
+        case checker_kind::bloom: return "bloom";
+        case checker_kind::fast: return "fast";
+        case checker_kind::exhaustive: return "exhaustive";
+        case checker_kind::monitor: return "monitor";
+        case checker_kind::regular: return "regular";
+        case checker_kind::safe: return "safe";
+    }
+    return "?";
+}
+
+std::optional<checker_kind> parse_checker(std::string_view name) {
+    if (name == "bloom") return checker_kind::bloom;
+    if (name == "fast") return checker_kind::fast;
+    if (name == "exhaustive") return checker_kind::exhaustive;
+    if (name == "monitor") return checker_kind::monitor;
+    if (name == "regular") return checker_kind::regular;
+    if (name == "safe") return checker_kind::safe;
+    return std::nullopt;
+}
+
+std::optional<std::vector<checker_kind>> parse_checker_list(
+    std::string_view list, std::string* error) {
+    std::vector<checker_kind> kinds;
+    if (list.empty() || list == "none") return kinds;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string_view name =
+            list.substr(start, comma == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : comma - start);
+        const std::optional<checker_kind> k = parse_checker(name);
+        if (!k.has_value()) {
+            if (error != nullptr) {
+                *error = "unknown checker '" + std::string(name) +
+                         "' (bloom, fast, exhaustive, monitor, regular, "
+                         "safe, none)";
+            }
+            return std::nullopt;
+        }
+        kinds.push_back(*k);
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+    }
+    return kinds;
+}
+
+pipeline_result run_checkers(const std::vector<event>& events, value_t initial,
+                             const std::vector<checker_kind>& kinds) {
+    pipeline_result out;
+    parse_result parsed = parse_history(events, initial);
+    if (!parsed.ok()) {
+        out.parse_error = parsed.error->message + " (gamma position " +
+                          std::to_string(parsed.error->position) + ")";
+        return out;
+    }
+    out.parsed = true;
+    out.operations = parsed.hist.ops.size();
+    out.verdicts.reserve(kinds.size());
+    for (const checker_kind k : kinds) {
+        out.verdicts.push_back(run_one(k, parsed.hist, initial));
+    }
+    return out;
+}
+
+}  // namespace bloom87::harness

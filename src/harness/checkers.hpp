@@ -1,0 +1,79 @@
+// bloom87: the one checker pipeline.
+//
+// Every verification path in the repository -- the Section 7 constructive
+// linearizer, the polynomial Gibbons-Korach checker, the exhaustive
+// Wing-Gong search, the runtime atomicity monitor, and the single-writer
+// regularity/safety checkers -- sits behind one interface: hand the
+// pipeline a recorded event sequence, name the checkers, get one verdict
+// per checker. Checkers that cannot apply to the history (exhaustive over
+// 62 ops, regularity with two writers, the Bloom linearizer without real
+// accesses) report WHY they were skipped instead of failing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "histories/events.hpp"
+#include "histories/history.hpp"
+
+namespace bloom87::harness {
+
+enum class checker_kind : std::uint8_t {
+    bloom,       ///< Section 7 constructive linearizer (needs real accesses)
+    fast,        ///< polynomial unique-writes checker (Gibbons-Korach)
+    exhaustive,  ///< Wing-Gong search with memoization (<= 62 ops)
+    monitor,     ///< the runtime atomicity monitor, fed by replay
+    regular,     ///< Lamport regularity (single-writer histories)
+    safe,        ///< Lamport safety (single-writer histories)
+};
+
+[[nodiscard]] std::string checker_name(checker_kind k);
+
+/// Parses one checker name; nullopt for unknown names.
+[[nodiscard]] std::optional<checker_kind> parse_checker(std::string_view name);
+
+/// Parses a comma-separated checker list ("fast,bloom"). "none" and ""
+/// yield an empty list. Unknown names land in `error`.
+[[nodiscard]] std::optional<std::vector<checker_kind>> parse_checker_list(
+    std::string_view list, std::string* error);
+
+/// One checker's verdict on one history.
+struct check_verdict {
+    checker_kind kind{checker_kind::fast};
+    bool ran{false};             ///< false: skipped (see skip_reason)
+    std::string skip_reason;
+    bool pass{false};            ///< meaningful when ran
+    std::string diagnosis;       ///< failure detail when !pass
+    double millis{0};            ///< checker runtime
+    /// Bloom checker only: Section 7 classification counts.
+    std::size_t impotent_writes{0};
+    std::size_t potent_writes{0};
+    std::size_t reads_of_potent{0};
+    std::size_t reads_of_impotent{0};
+    std::size_t reads_of_initial{0};
+};
+
+/// The pipeline's result: history parse outcome plus per-checker verdicts.
+struct pipeline_result {
+    bool parsed{false};
+    std::string parse_error;
+    std::size_t operations{0};
+    std::vector<check_verdict> verdicts;
+
+    /// True when the history parsed and every checker that RAN passed.
+    [[nodiscard]] bool all_pass() const noexcept {
+        if (!parsed) return false;
+        for (const check_verdict& v : verdicts) {
+            if (v.ran && !v.pass) return false;
+        }
+        return true;
+    }
+};
+
+/// Parses `events` into a history and runs each requested checker on it.
+[[nodiscard]] pipeline_result run_checkers(const std::vector<event>& events,
+                                           value_t initial,
+                                           const std::vector<checker_kind>& kinds);
+
+}  // namespace bloom87::harness

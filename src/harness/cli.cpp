@@ -1,0 +1,216 @@
+#include "harness/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+
+#include "harness/registry.hpp"
+
+namespace bloom87::harness {
+namespace {
+
+template <typename T>
+bool parse_number(const std::string& text, T* out) {
+    T v{};
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+    *out = v;
+    return true;
+}
+
+}  // namespace
+
+bool flag_parser::assign(const option& o, const std::string& text) {
+    switch (o.k) {
+        case kind::flag:
+            return false;  // flags never take a value
+        case kind::string:
+            *static_cast<std::string*>(o.out) = text;
+            return true;
+        case kind::int32:
+            return parse_number(text, static_cast<int*>(o.out));
+        case kind::uint32:
+            return parse_number(text, static_cast<unsigned*>(o.out));
+        case kind::size:
+            return parse_number(text, static_cast<std::size_t*>(o.out));
+        case kind::uint64:
+            return parse_number(text, static_cast<std::uint64_t*>(o.out));
+    }
+    return false;
+}
+
+bool flag_parser::parse(int argc, char** argv) {
+    std::size_t next_positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            print_usage(std::cout);
+            help_ = true;
+            return true;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            std::string name = arg.substr(2);
+            std::string value;
+            bool has_value = false;
+            const std::size_t eq = name.find('=');
+            if (eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name.resize(eq);
+                has_value = true;
+            }
+            const option* match = nullptr;
+            for (const option& o : opts_) {
+                if (o.name == name) {
+                    match = &o;
+                    break;
+                }
+            }
+            if (match == nullptr) {
+                std::cerr << program_ << ": unknown flag --" << name << "\n";
+                print_usage(std::cerr);
+                return false;
+            }
+            if (match->k == kind::flag) {
+                if (has_value) {
+                    std::cerr << program_ << ": --" << name
+                              << " takes no value\n";
+                    return false;
+                }
+                *static_cast<bool*>(match->out) = true;
+                continue;
+            }
+            if (!has_value) {
+                if (i + 1 >= argc) {
+                    std::cerr << program_ << ": --" << name
+                              << " needs a value\n";
+                    print_usage(std::cerr);
+                    return false;
+                }
+                value = argv[++i];
+            }
+            if (!assign(*match, value)) {
+                std::cerr << program_ << ": bad value '" << value
+                          << "' for --" << name << "\n";
+                return false;
+            }
+            continue;
+        }
+        if (next_positional < positionals_.size()) {
+            if (!parse_number(arg, positionals_[next_positional].out)) {
+                std::cerr << program_ << ": bad value '" << arg << "' for "
+                          << positionals_[next_positional].name << "\n";
+                return false;
+            }
+            ++next_positional;
+            continue;
+        }
+        std::cerr << program_ << ": unexpected argument '" << arg << "'\n";
+        print_usage(std::cerr);
+        return false;
+    }
+    return true;
+}
+
+void flag_parser::print_usage(std::ostream& os) const {
+    os << "usage: " << program_;
+    for (const positional& p : positionals_) os << " [" << p.name << "]";
+    if (!opts_.empty()) os << " [flags]";
+    os << "\n  " << description_ << "\n";
+    for (const positional& p : positionals_) {
+        os << "  " << p.name << ": " << p.help << " (default "
+           << *p.out << ")\n";
+    }
+    for (const option& o : opts_) {
+        os << "  --" << o.name;
+        switch (o.k) {
+            case kind::flag:
+                break;
+            case kind::string:
+                os << " <str>";
+                break;
+            default:
+                os << " <n>";
+                break;
+        }
+        os << ": " << o.help;
+        switch (o.k) {
+            case kind::string: {
+                const auto& v = *static_cast<std::string*>(o.out);
+                if (!v.empty()) os << " (default " << v << ")";
+                break;
+            }
+            case kind::int32:
+                os << " (default " << *static_cast<int*>(o.out) << ")";
+                break;
+            case kind::uint32:
+                os << " (default " << *static_cast<unsigned*>(o.out) << ")";
+                break;
+            case kind::size:
+                os << " (default " << *static_cast<std::size_t*>(o.out) << ")";
+                break;
+            case kind::uint64:
+                os << " (default " << *static_cast<std::uint64_t*>(o.out)
+                   << ")";
+                break;
+            case kind::flag:
+                break;
+        }
+        os << "\n";
+    }
+}
+
+void common_flags::add_to(flag_parser& p) {
+    p.add_string("register", "registry name of the register to drive",
+                 &register_name);
+    p.add_size("writers", "writer processors", &writers);
+    p.add_size("readers", "reader processors", &readers);
+    p.add_size("ops", "scripted ops per processor", &ops);
+    p.add_uint64("seed", "workload/schedule seed", &seed);
+    p.add_string("json", "write the run report (harness schema) to PATH",
+                 &json_path);
+    p.add_string("check",
+                 "comma-separated checkers (bloom,fast,exhaustive,monitor,"
+                 "regular,safe,none)",
+                 &check);
+    p.add_unsigned("duration-ms",
+                   "timed run length (0 = scripted run, checkable)",
+                   &duration_ms);
+    p.add_unsigned("threads", "worker threads where applicable (0 = auto)",
+                   &threads);
+    p.add_flag("list", "print the register registry and exit", &list);
+}
+
+run_spec common_flags::to_spec() const {
+    run_spec spec;
+    spec.register_name = register_name;
+    spec.load.writers = writers;
+    spec.load.readers = readers;
+    spec.load.ops_per_writer = ops;
+    spec.load.ops_per_reader = ops;
+    spec.seed = seed;
+    spec.duration_ms = duration_ms;
+    if (duration_ms == 0) {
+        const registry_entry* e = find_register(register_name);
+        spec.collect = e != nullptr && e->info.requires_log
+                           ? collect_mode::gamma
+                           : collect_mode::per_thread;
+    } else {
+        spec.collect = collect_mode::none;
+    }
+    return spec;
+}
+
+void print_register_list(std::ostream& os) {
+    os << "registered registers:\n";
+    for (const registry_entry& e : registry()) {
+        os << "  " << e.info.name;
+        os << "  (writers " << e.info.min_writers << ".."
+           << e.info.max_writers;
+        if (!e.info.wait_free) os << ", blocking";
+        if (e.info.records_real_accesses) os << ", records real accesses";
+        if (!e.info.expected_atomic) os << ", KNOWN NOT ATOMIC";
+        os << ")\n      " << e.info.description << "\n";
+    }
+}
+
+}  // namespace bloom87::harness

@@ -1,0 +1,566 @@
+#include "harness/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+
+namespace bloom87::harness {
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            steady::now().time_since_epoch())
+            .count());
+}
+
+/// One recorded invocation/response with its (global or logical) timestamp.
+struct timed_event {
+    std::uint64_t tick{0};
+    event e{};
+};
+
+/// Executes one processor's script against its port, applying pacing, crash
+/// injection, latency sampling, and (per_thread collection) local event
+/// recording. Used verbatim by both the thread-per-processor and the seeded
+/// single-thread schedules.
+class script_runner {
+public:
+    script_runner(any_port& port, const std::vector<workload_op>& script,
+                  processor_id proc, port_role role, const run_spec& spec,
+                  std::uint64_t rng_seed, std::vector<timed_event>* buf,
+                  std::uint64_t* logical_clock, pause_fn pause)
+        : port_(&port), script_(&script), proc_(proc), role_(role),
+          spec_(&spec), gen_(rng_seed), buf_(buf),
+          logical_clock_(logical_clock), pause_(std::move(pause)) {}
+
+    [[nodiscard]] bool exhausted() const noexcept {
+        return cursor_ >= script_->size();
+    }
+
+    /// Runs the next scripted op; false when the script is exhausted.
+    bool step() {
+        if (exhausted()) return false;
+        run_op((*script_)[cursor_++]);
+        return true;
+    }
+
+    /// Restarts the script (timed runs cycle it).
+    void rewind() noexcept { cursor_ = 0; }
+
+    void reset_counters() noexcept {
+        reads_ = writes_ = crashes_ = 0;
+        samples_.clear();
+    }
+
+    [[nodiscard]] processor_id processor() const noexcept { return proc_; }
+    [[nodiscard]] port_role role() const noexcept { return role_; }
+    [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+    [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+    [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+    [[nodiscard]] std::vector<std::uint64_t>& samples() noexcept {
+        return samples_;
+    }
+
+private:
+    void run_op(const workload_op& op) {
+        const bool sample =
+            spec_->latency_sample_every != 0 &&
+            op_counter_ % spec_->latency_sample_every == 0;
+        ++op_counter_;
+        const std::uint64_t t0 = sample ? now_ns() : 0;
+        if (op.kind == op_kind::write) {
+            do_write(op.value);
+        } else {
+            do_read();
+        }
+        if (sample) samples_.push_back(now_ns() - t0);
+    }
+
+    void do_write(value_t v) {
+        record(op_kind::write, /*response=*/false, v);
+        const pacing& pace = spec_->pace;
+        bool crashed = false;
+        if (pace.crash_num != 0 && gen_.chance(pace.crash_num, pace.crash_den)) {
+            const auto cp = static_cast<crash_point>(next_crash_point_);
+            next_crash_point_ = (next_crash_point_ + 1) % 3;
+            if (port_->write_crashed(v, cp)) {
+                crashed = true;
+                ++crashes_;
+            } else {
+                port_->write(v);  // no crash machinery: plain write
+            }
+        } else if (pace.writer_pace_num != 0 &&
+                   gen_.chance(pace.writer_pace_num, pace.writer_pace_den)) {
+            port_->write_paced(v, pause_);
+        } else {
+            port_->write(v);
+        }
+        ++writes_;
+        // A crashed write is never acknowledged: invocation without
+        // response, which the history parser records as pending.
+        if (!crashed) record(op_kind::write, /*response=*/true, 0);
+    }
+
+    void do_read() {
+        record(op_kind::read, /*response=*/false, 0);
+        const pacing& pace = spec_->pace;
+        value_t out;
+        if (spec_->cached_writer_reads && role_ == port_role::writer &&
+            port_->read_cached(out)) {
+            // served from the writer's cache (Section 5)
+        } else if (pace.reader_pace_num != 0 && role_ == port_role::reader &&
+                   gen_.chance(pace.reader_pace_num, pace.reader_pace_den)) {
+            out = port_->read_paced(pause_);
+        } else {
+            out = port_->read();
+        }
+        ++reads_;
+        record(op_kind::read, /*response=*/true, out);
+    }
+
+    void record(op_kind kind, bool response, value_t v) {
+        if (buf_ == nullptr) return;
+        timed_event te;
+        te.tick = next_tick();
+        te.e.processor = proc_;
+        te.e.op = record_op_ - (response ? 1 : 0);
+        if (!response) ++record_op_;
+        te.e.value = v;
+        if (kind == op_kind::write) {
+            te.e.kind = response ? event_kind::sim_respond_write
+                                 : event_kind::sim_invoke_write;
+        } else {
+            te.e.kind = response ? event_kind::sim_respond_read
+                                 : event_kind::sim_invoke_read;
+        }
+        buf_->push_back(te);
+    }
+
+    [[nodiscard]] std::uint64_t next_tick() {
+        if (logical_clock_ != nullptr) return (*logical_clock_)++;
+        // Strictly increasing per thread so same-thread events never tie
+        // (a tie would make sequential ops look overlapping after the merge).
+        std::uint64_t t = now_ns();
+        if (t <= last_tick_) t = last_tick_ + 1;
+        last_tick_ = t;
+        return t;
+    }
+
+    any_port* port_;
+    const std::vector<workload_op>* script_;
+    processor_id proc_;
+    port_role role_;
+    const run_spec* spec_;
+    rng gen_;
+    std::vector<timed_event>* buf_;
+    std::uint64_t* logical_clock_;
+    pause_fn pause_;
+
+    std::size_t cursor_{0};
+    std::uint64_t op_counter_{0};
+    op_index record_op_{0};
+    unsigned next_crash_point_{0};
+    std::uint64_t last_tick_{0};
+    std::uint64_t reads_{0};
+    std::uint64_t writes_{0};
+    std::uint64_t crashes_{0};
+    std::vector<std::uint64_t> samples_;
+};
+
+void fill_percentiles(thread_result& tr, std::vector<std::uint64_t>& ns) {
+    tr.samples = ns.size();
+    if (ns.empty()) return;
+    std::sort(ns.begin(), ns.end());
+    const auto at = [&](double q) {
+        const auto i = static_cast<std::size_t>(
+            q * static_cast<double>(ns.size() - 1));
+        return static_cast<double>(ns[i]) / 1000.0;
+    };
+    tr.p50_us = at(0.50);
+    tr.p99_us = at(0.99);
+    tr.max_us = static_cast<double>(ns.back()) / 1000.0;
+}
+
+[[nodiscard]] std::uint64_t per_proc_seed(std::uint64_t seed, std::size_t p) {
+    std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL * (p + 1);
+    return splitmix64_next(s);
+}
+
+run_result fail(std::string why) {
+    run_result r;
+    r.error = std::move(why);
+    return r;
+}
+
+}  // namespace
+
+void trim_heap() {
+#if defined(__GLIBC__)
+    // One config's freed heap must not be billed to the next (the fix
+    // bench_modelcheck shipped in PR 1, applied here for every harness run).
+    malloc_trim(0);
+#endif
+}
+
+run_result run(const run_spec& spec) {
+    trim_heap();
+
+    const registry_entry* entry = find_register(spec.register_name);
+    if (entry == nullptr) {
+        return fail("unknown register '" + spec.register_name + "'");
+    }
+    if (spec.load.writers < entry->info.min_writers ||
+        spec.load.writers > entry->info.max_writers) {
+        return fail(entry->info.name + " supports " +
+                    std::to_string(entry->info.min_writers) + ".." +
+                    std::to_string(entry->info.max_writers) +
+                    " writers, got " + std::to_string(spec.load.writers));
+    }
+    if (entry->info.requires_log && spec.collect != collect_mode::gamma) {
+        return fail(entry->info.name +
+                    " records real accesses into a shared gamma log; run it "
+                    "with collect=gamma");
+    }
+    if (spec.duration_ms > 0 && spec.collect != collect_mode::none) {
+        return fail("timed runs produce unbounded histories; use scripted "
+                    "runs (duration_ms=0) when collecting events");
+    }
+    if (spec.duration_ms > 0 && spec.schedule == schedule_mode::seeded) {
+        return fail("the seeded schedule is scripted-only (duration_ms=0)");
+    }
+
+    const workload wl = make_workload(spec.load, spec.seed);
+    if (!wl.valid()) return fail("generated workload failed validation");
+
+    // Recording substrate: <= 4 real accesses per op on top of the 2
+    // invocation/response events; 12x leaves slack for cached-read paths.
+    event_log log(spec.collect == collect_mode::gamma
+                      ? wl.total_ops() * 12 + 4096
+                      : 1);
+    register_args args;
+    args.initial = spec.initial;
+    args.writers = spec.load.writers;
+    args.readers = spec.load.readers;
+    args.log = spec.collect == collect_mode::gamma ? &log : nullptr;
+
+    std::string make_error;
+    std::unique_ptr<any_register> reg =
+        make_register(spec.register_name, args, &make_error);
+    if (reg == nullptr) return fail(std::move(make_error));
+
+    const std::size_t n_procs = wl.scripts.size();
+    std::vector<std::unique_ptr<any_port>> ports;
+    ports.reserve(n_procs);
+    for (std::size_t p = 0; p < n_procs; ++p) {
+        const port_role role =
+            p < wl.writers ? port_role::writer : port_role::reader;
+        ports.push_back(
+            reg->make_port(static_cast<processor_id>(p), role));
+    }
+
+    const bool per_thread = spec.collect == collect_mode::per_thread;
+    std::vector<std::vector<timed_event>> buffers(n_procs);
+    if (per_thread) {
+        for (std::size_t p = 0; p < n_procs; ++p) {
+            buffers[p].reserve(wl.scripts[p].size() * 2);
+        }
+    }
+
+    run_result result;
+    result.info = entry->info;
+    result.threads.resize(n_procs);
+
+    if (spec.schedule == schedule_mode::seeded) {
+        // Deterministic single-thread interleaving at op granularity. A
+        // paced operation's pause runs a bounded burst of OTHER processors'
+        // ops, so the recorded gamma contains real overlap -- reproducibly.
+        std::uint64_t logical_clock = 0;
+        std::vector<script_runner> runners;
+        runners.reserve(n_procs);
+        bool in_pause = false;
+        std::size_t current = n_procs;  // runner currently mid-operation
+        rng sched(per_proc_seed(spec.seed, n_procs + 1));
+        auto pause_burst = [&]() {
+            if (in_pause) return;  // no nested pacing
+            in_pause = true;
+            for (unsigned i = 0; i < spec.pace.pause_yields; ++i) {
+                std::vector<std::size_t> live;
+                for (std::size_t p = 0; p < runners.size(); ++p) {
+                    // Never step the paused runner itself: re-entering a
+                    // port mid-operation would interleave one processor's
+                    // invocation/response pairs with themselves.
+                    if (p != current && !runners[p].exhausted()) {
+                        live.push_back(p);
+                    }
+                }
+                if (live.empty()) break;
+                runners[live[sched.below(live.size())]].step();
+            }
+            in_pause = false;
+        };
+        for (std::size_t p = 0; p < n_procs; ++p) {
+            runners.emplace_back(
+                *ports[p], wl.scripts[p], static_cast<processor_id>(p),
+                p < wl.writers ? port_role::writer : port_role::reader, spec,
+                per_proc_seed(spec.seed, p),
+                per_thread ? &buffers[p] : nullptr, &logical_clock,
+                pause_burst);
+        }
+        const std::uint64_t t0 = now_ns();
+        for (;;) {
+            std::vector<std::size_t> live;
+            for (std::size_t p = 0; p < runners.size(); ++p) {
+                if (!runners[p].exhausted()) live.push_back(p);
+            }
+            if (live.empty()) break;
+            current = live[sched.below(live.size())];
+            runners[current].step();
+            current = n_procs;
+        }
+        result.measured_s = static_cast<double>(now_ns() - t0) / 1e9;
+        for (std::size_t p = 0; p < n_procs; ++p) {
+            thread_result& tr = result.threads[p];
+            tr.processor = static_cast<processor_id>(p);
+            tr.role = runners[p].role();
+            tr.reads = runners[p].reads();
+            tr.writes = runners[p].writes();
+            result.crashes_injected += runners[p].crashes();
+            fill_percentiles(tr, runners[p].samples());
+        }
+    } else {
+        // One OS thread per processor. phase: 0 = warmup, 1 = measured
+        // epoch, 2 = stop. Scripted runs (duration_ms == 0) skip warmup and
+        // run each script exactly once.
+        const bool timed = spec.duration_ms > 0;
+        start_gate gate;
+        std::atomic<int> phase{timed && spec.warmup_ms > 0 ? 0 : 1};
+        std::atomic<std::uint64_t> crash_total{0};
+        std::vector<std::thread> pool;
+        pool.reserve(n_procs);
+        for (std::size_t p = 0; p < n_procs; ++p) {
+            pool.emplace_back([&, p] {
+                script_runner runner(
+                    *ports[p], wl.scripts[p], static_cast<processor_id>(p),
+                    p < wl.writers ? port_role::writer : port_role::reader,
+                    spec, per_proc_seed(spec.seed, p),
+                    per_thread ? &buffers[p] : nullptr, nullptr,
+                    [yields = spec.pace.pause_yields] {
+                        for (unsigned i = 0; i < yields; ++i) {
+                            std::this_thread::yield();
+                        }
+                    });
+                gate.wait();
+                if (timed) {
+                    while (phase.load(std::memory_order_acquire) == 0) {
+                        if (!runner.step()) runner.rewind();
+                    }
+                    runner.reset_counters();
+                }
+                const std::uint64_t t0 = now_ns();
+                if (timed) {
+                    while (phase.load(std::memory_order_acquire) == 1) {
+                        if (!runner.step()) runner.rewind();
+                    }
+                } else {
+                    while (runner.step()) {}
+                }
+                const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+                thread_result& tr = result.threads[p];
+                tr.processor = static_cast<processor_id>(p);
+                tr.role = runner.role();
+                tr.reads = runner.reads();
+                tr.writes = runner.writes();
+                tr.ops_per_sec =
+                    secs > 0
+                        ? static_cast<double>(tr.reads + tr.writes) / secs
+                        : 0;
+                fill_percentiles(tr, runner.samples());
+                crash_total.fetch_add(runner.crashes(),
+                                      std::memory_order_relaxed);
+            });
+        }
+        const std::uint64_t t0 = now_ns();
+        gate.open();
+        if (timed) {
+            if (spec.warmup_ms > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(spec.warmup_ms));
+                phase.store(1, std::memory_order_release);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(spec.duration_ms));
+            phase.store(2, std::memory_order_release);
+        }
+        for (std::thread& t : pool) t.join();
+        result.measured_s =
+            timed ? spec.duration_ms / 1000.0
+                  : static_cast<double>(now_ns() - t0) / 1e9;
+        result.crashes_injected = crash_total.load(std::memory_order_relaxed);
+    }
+
+    for (const thread_result& tr : result.threads) {
+        result.total_reads += tr.reads;
+        result.total_writes += tr.writes;
+    }
+
+    if (spec.collect == collect_mode::gamma) {
+        result.events = log.snapshot();
+        result.log_overflowed = log.overflowed();
+    } else if (per_thread) {
+        std::vector<timed_event> all;
+        std::size_t total = 0;
+        for (const auto& b : buffers) total += b.size();
+        all.reserve(total);
+        for (auto& b : buffers) {
+            all.insert(all.end(), b.begin(), b.end());
+        }
+        // Invocations sort before responses at equal ticks: ties can only
+        // WIDEN operation intervals, which relaxes precedence constraints
+        // and never manufactures a false violation.
+        std::sort(all.begin(), all.end(),
+                  [](const timed_event& a, const timed_event& b) {
+                      const int ra = is_response(a.e.kind) ? 1 : 0;
+                      const int rb = is_response(b.e.kind) ? 1 : 0;
+                      return std::tie(a.tick, ra, a.e.processor, a.e.op) <
+                             std::tie(b.tick, rb, b.e.processor, b.e.op);
+                  });
+        result.events.reserve(all.size());
+        for (const timed_event& te : all) result.events.push_back(te.e);
+    }
+
+    result.ok = true;
+    return result;
+}
+
+latency_result measure_latency(const std::string& register_name,
+                               std::size_t writers, std::size_t readers,
+                               std::uint64_t iters) {
+    trim_heap();
+    latency_result res;
+    if (readers == 0) {
+        res.error = "measure_latency needs at least one reader";
+        return res;
+    }
+    register_args args;
+    args.writers = writers;
+    args.readers = readers;
+    std::string err;
+    std::unique_ptr<any_register> reg =
+        make_register(register_name, args, &err);
+    if (reg == nullptr) {
+        res.error = std::move(err);
+        return res;
+    }
+    auto w = reg->make_port(0, port_role::writer);
+    auto r = reg->make_port(static_cast<processor_id>(writers),
+                            port_role::reader);
+
+    value_t sink = 0;
+    const auto bench = [&](auto&& body) {
+        double best_ns = 0;
+        for (int rep = 0; rep < 5; ++rep) {
+            const std::uint64_t t0 = now_ns();
+            for (std::uint64_t i = 0; i < iters; ++i) body(i);
+            const double ns = static_cast<double>(now_ns() - t0) /
+                              static_cast<double>(iters);
+            if (rep == 0 || ns < best_ns) best_ns = ns;
+        }
+        return best_ns;
+    };
+
+    res.write_ns = bench([&](std::uint64_t i) {
+        w->write(unique_value(0, static_cast<std::uint32_t>(i)));
+    });
+    res.read_ns = bench([&](std::uint64_t) { sink += r->read(); });
+    value_t probe;
+    if (w->read_cached(probe)) {
+        res.cached_read_ns = bench([&](std::uint64_t) {
+            value_t out;
+            (void)w->read_cached(out);
+            sink += out;
+        });
+    }
+    // Defeat dead-code elimination of the read loops.
+    if (sink == 0x7f7f7f7f7f7f7f7fLL) res.read_ns += 0.0;
+    res.ok = true;
+    return res;
+}
+
+stall_result measure_stall(const stall_spec& spec) {
+    trim_heap();
+    stall_result res;
+    register_args args;
+    args.initial = 1;
+    args.writers = spec.writers;
+    args.readers = 2;  // the sampling reader + (reader stalls) the staller
+    std::string err;
+    std::unique_ptr<any_register> reg =
+        make_register(spec.register_name, args, &err);
+    if (reg == nullptr) {
+        res.error = std::move(err);
+        return res;
+    }
+    const auto first_reader = static_cast<processor_id>(spec.writers);
+    auto sampler = reg->make_port(first_reader, port_role::reader);
+    auto staller =
+        spec.stalled_role == port_role::writer
+            ? reg->make_port(0, port_role::writer)
+            : reg->make_port(static_cast<processor_id>(spec.writers + 1),
+                             port_role::reader);
+
+    start_gate gate;
+    stop_flag stop;
+    std::atomic<bool> stall_supported{true};
+    std::vector<std::uint64_t> samples;
+    samples.reserve(1u << 20);
+
+    std::thread stall_thread([&] {
+        gate.wait();
+        const bool supported = staller->stall([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(spec.stall_ms));
+        });
+        if (!supported) stall_supported.store(false);
+    });
+    std::thread read_thread([&] {
+        gate.wait();
+        value_t sink = 0;
+        while (!stop.stop_requested()) {
+            const std::uint64_t t0 = now_ns();
+            sink += sampler->read();
+            samples.push_back(now_ns() - t0);
+        }
+        if (sink == 0x7f7f7f7f7f7f7f7fLL) samples.push_back(0);
+    });
+    gate.open();
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.run_ms));
+    stop.request_stop();
+    stall_thread.join();
+    read_thread.join();
+
+    if (!stall_supported.load()) {
+        res.error = spec.register_name + " has nothing to stall for role";
+        return res;
+    }
+    thread_result tr;
+    fill_percentiles(tr, samples);
+    res.reads = tr.samples;
+    res.p50_us = tr.p50_us;
+    res.p99_us = tr.p99_us;
+    res.max_us = tr.max_us;
+    res.ok = true;
+    return res;
+}
+
+}  // namespace bloom87::harness

@@ -1,0 +1,178 @@
+// bloom87: the one workload driver every bench/example/stress binary uses.
+//
+// The driver owns the run lifecycle that used to be copy-pasted across ~14
+// binaries: build a register from the registry by name, script a workload
+// (histories/workload.hpp), line threads up on a start gate, run warmup and
+// a measured epoch, optionally inject crashes/stalls at the protocols'
+// vulnerable points, collect per-thread latency samples and event logs
+// without cross-thread contention, and hand the recorded history to the
+// checker pipeline (checkers.hpp).
+//
+// Two schedules:
+//   * threads -- real concurrency, one OS thread per processor;
+//   * seeded  -- a single-thread seeded interleaving at operation
+//     granularity (the model-check-style scheduler): same seed, same
+//     workload, same history, byte for byte. Determinism is what the
+//     harness tests pin.
+//
+// Two history collectors:
+//   * gamma      -- the register (or its adapter) appends simulated
+//     invocations/responses into one shared MPMC event_log; required for
+//     the recording substrate, whose REAL accesses must interleave with
+//     the simulated events in one total order;
+//   * per_thread -- each thread timestamps operations locally
+//     (steady_clock) with zero shared state; the driver k-way merges the
+//     buffers afterwards. CLOCK_MONOTONIC is globally monotone, so the
+//     merged order is a legal external schedule (ties only ever RELAX
+//     precedence constraints: invocations sort before responses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/registry.hpp"
+#include "histories/workload.hpp"
+
+namespace bloom87::harness {
+
+/// How the driver records the run's external schedule.
+enum class collect_mode : std::uint8_t {
+    none,        ///< throughput runs: nothing recorded
+    gamma,       ///< one shared event_log (register/adapter self-logs)
+    per_thread,  ///< contention-free thread-local buffers, merged post-run
+};
+
+/// How operations are interleaved.
+enum class schedule_mode : std::uint8_t {
+    threads,  ///< one OS thread per processor (real concurrency)
+    seeded,   ///< deterministic single-thread interleaving from the seed
+};
+
+/// Adversarial pacing and failure injection, applied to scripted ops.
+struct pacing {
+    /// Fraction (num/den) of writer ops run through write_paced with a
+    /// yield-loop pause (opens the impotent-write window deliberately).
+    std::uint64_t writer_pace_num{0};
+    std::uint64_t writer_pace_den{1};
+    /// Fraction of reader ops run through read_paced (the very slow reader).
+    std::uint64_t reader_pace_num{0};
+    std::uint64_t reader_pace_den{1};
+    /// Number of scheduler yields a paused operation sleeps for.
+    unsigned pause_yields{64};
+    /// Fraction of writer writes that CRASH mid-protocol (write_crashed),
+    /// cycling through the three crash points. Only meaningful on registers
+    /// with crash machinery; others fall back to a plain write.
+    std::uint64_t crash_num{0};
+    std::uint64_t crash_den{1};
+};
+
+/// Everything one run needs.
+struct run_spec {
+    std::string register_name{"bloom/packed"};
+    value_t initial{0};
+    workload_config load{};
+    std::uint64_t seed{1};
+
+    /// 0 = scripted run (each processor runs its script once).
+    /// > 0 = timed run: scripts are cycled until the clock expires
+    /// (collect must be none -- histories of a timed run are unbounded).
+    unsigned duration_ms{0};
+    unsigned warmup_ms{0};
+
+    collect_mode collect{collect_mode::none};
+    schedule_mode schedule{schedule_mode::threads};
+    pacing pace{};
+
+    /// Writers serve scripted reads through the cached-read protocol
+    /// (Section 5, 1-2 real reads) where the register supports it.
+    bool cached_writer_reads{false};
+
+    /// Sample every k-th operation's latency (0 = no sampling).
+    unsigned latency_sample_every{0};
+};
+
+/// Per-processor outcome.
+struct thread_result {
+    processor_id processor{0};
+    port_role role{port_role::reader};
+    std::uint64_t reads{0};
+    std::uint64_t writes{0};
+    double ops_per_sec{0};
+    /// Latency percentiles over the sampled ops, in microseconds; zero when
+    /// sampling was off.
+    double p50_us{0};
+    double p99_us{0};
+    double max_us{0};
+    std::uint64_t samples{0};
+};
+
+/// Whole-run outcome. When `ok` is false nothing else is meaningful except
+/// `error`.
+struct run_result {
+    bool ok{false};
+    std::string error;
+
+    register_info info{};
+    double measured_s{0};      ///< measured epoch wall time
+    std::uint64_t total_reads{0};
+    std::uint64_t total_writes{0};
+    std::uint64_t crashes_injected{0};
+    std::vector<thread_result> threads;
+
+    /// Recorded external schedule (collect != none), in gamma order.
+    std::vector<event> events;
+    bool log_overflowed{false};
+};
+
+/// Runs one spec. Validates the spec against the registry entry (writer
+/// range, recording requirements, timed-run restrictions) and reports
+/// violations through run_result::error instead of crashing.
+[[nodiscard]] run_result run(const run_spec& spec);
+
+/// Returns freed heap pages to the OS between configs so one config's
+/// allocations are not billed to the next (glibc only; no-op elsewhere).
+void trim_heap();
+
+/// Single-thread operation-latency microbenchmark through the registry:
+/// median-of-batches nanoseconds for a simulated write, a simulated read,
+/// and (where supported) the writer's cached read.
+struct latency_result {
+    bool ok{false};
+    std::string error;
+    double write_ns{0};
+    double read_ns{0};
+    double cached_read_ns{-1};  ///< < 0: register has no cached-read path
+};
+
+[[nodiscard]] latency_result measure_latency(const std::string& register_name,
+                                             std::size_t writers,
+                                             std::size_t readers,
+                                             std::uint64_t iters);
+
+/// The Section 4 wait-freedom experiment: one participant stalls mid-
+/// operation (a lock holder asleep in its critical section, a Bloom writer
+/// asleep between its real read and real write, a reader crashed mid-read)
+/// while a reader samples its own latency. Blocking designs transmit the
+/// stall to the reader's max; wait-free designs do not.
+struct stall_spec {
+    std::string register_name{"bloom/packed"};
+    std::size_t writers{2};
+    /// Which side stalls: a writer port or a second reader port.
+    port_role stalled_role{port_role::writer};
+    unsigned stall_ms{20};
+    unsigned run_ms{60};
+};
+
+struct stall_result {
+    bool ok{false};
+    std::string error;
+    std::uint64_t reads{0};  ///< reader ops completed during the run
+    double p50_us{0};
+    double p99_us{0};
+    double max_us{0};
+};
+
+[[nodiscard]] stall_result measure_stall(const stall_spec& spec);
+
+}  // namespace bloom87::harness

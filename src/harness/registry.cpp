@@ -1,0 +1,684 @@
+#include "harness/registry.hpp"
+
+#include <utility>
+
+#include "baselines/mutex_register.hpp"
+#include "baselines/native_atomic.hpp"
+#include "baselines/rwlock_register.hpp"
+#include "baselines/tournament.hpp"
+#include "histories/workload.hpp"
+#include "registers/fourslot.hpp"
+#include "registers/packed_atomic.hpp"
+#include "registers/recording.hpp"
+#include "registers/seqlock.hpp"
+#include "registers/swmr_from_swsr.hpp"
+#include "registers/va_register.hpp"
+
+namespace bloom87::harness {
+namespace {
+
+/// A 56-bit value payload that satisfies word_packable (sizeof == 7), so the
+/// packed-word substrates can carry the harness's 64-bit unique values
+/// (unique_value never exceeds 2^56). Kept trivial -- no user-provided
+/// constructors -- so word packing's memcpy stays warning-clean; convert
+/// with pack56(). The implicit conversion back to value_t is what lets
+/// two_writer_register's event logging record the true value.
+struct packed56 {
+    unsigned char bytes[7];
+
+    operator value_t() const noexcept {  // NOLINT(google-explicit-constructor)
+        std::uint64_t out = 0;
+        for (int i = 0; i < 7; ++i) {
+            out |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+        }
+        return static_cast<value_t>(out);
+    }
+};
+static_assert(word_packable<packed56>);
+
+[[nodiscard]] packed56 pack56(value_t v) noexcept {
+    packed56 p;
+    for (int i = 0; i < 7; ++i) {
+        p.bytes[i] = static_cast<unsigned char>(
+            static_cast<std::uint64_t>(v) >> (8 * i));
+    }
+    return p;
+}
+
+template <typename T>
+T from_value(value_t v) {
+    if constexpr (std::is_same_v<T, packed56>) {
+        return pack56(v);
+    } else {
+        return static_cast<T>(v);
+    }
+}
+
+/// Manual invocation/response logging for registers that do not log their
+/// own simulated operations (the native word, the VA register, the SWMR
+/// ladder). Mirrors atomicity_monitor's event shape.
+class ext_logger {
+public:
+    ext_logger(event_log* log, processor_id proc) : log_(log), proc_(proc) {}
+
+    void invoke(op_kind kind, value_t v) {
+        if (log_ == nullptr) return;
+        event e;
+        e.kind = kind == op_kind::write ? event_kind::sim_invoke_write
+                                        : event_kind::sim_invoke_read;
+        e.processor = proc_;
+        e.op = next_op_;
+        e.value = kind == op_kind::write ? v : 0;
+        log_->append(e);
+    }
+    void respond(op_kind kind, value_t result) {
+        if (log_ == nullptr) return;
+        event e;
+        e.kind = kind == op_kind::write ? event_kind::sim_respond_write
+                                        : event_kind::sim_respond_read;
+        e.processor = proc_;
+        e.op = next_op_;
+        e.value = kind == op_kind::write ? 0 : result;
+        log_->append(e);
+    }
+    void finish_op() { ++next_op_; }
+
+private:
+    event_log* log_;
+    processor_id proc_;
+    op_index next_op_{0};
+};
+
+// ---------------------------------------------------------------- bloom/* --
+
+/// Adapter over two_writer_register<T, Reg>. The register itself logs
+/// simulated operations (set_external_log / recording constructor), so the
+/// ports never log.
+template <typename T, typename Reg>
+class bloom_any final : public any_register {
+    using reg_t = two_writer_register<T, Reg>;
+
+public:
+    explicit bloom_any(std::unique_ptr<reg_t> reg) : reg_(std::move(reg)) {}
+
+    class wport final : public any_port {
+    public:
+        wport(reg_t& r, int index)
+            : w_(index == 0 ? &r.writer0() : &r.writer1()),
+              proc_(static_cast<processor_id>(index)) {}
+
+        value_t read() override { return static_cast<value_t>(w_->read()); }
+        void write(value_t v) override { w_->write(from_value<T>(v)); }
+        void write_paced(value_t v, const pause_fn& pause) override {
+            w_->write_paced(from_value<T>(v), pause);
+        }
+        bool write_crashed(value_t v, crash_point cp) override {
+            w_->write_crashed(from_value<T>(v), cp);
+            return true;
+        }
+        bool read_cached(value_t& out) override {
+            out = static_cast<value_t>(w_->read_cached());
+            return true;
+        }
+        bool stall(const pause_fn& during) override {
+            // Counter offset keeps staller values disjoint from any
+            // scripted workload value (those counters stay < 2^31).
+            w_->write_paced(
+                from_value<T>(unique_value(proc_, 0x80000000u + stall_count_++)),
+                during);
+            return true;
+        }
+
+    private:
+        typename reg_t::writer* w_;
+        processor_id proc_;
+        std::uint32_t stall_count_{0};
+    };
+
+    class rport final : public any_port {
+    public:
+        explicit rport(typename reg_t::reader rd) : rd_(std::move(rd)) {}
+
+        value_t read() override { return static_cast<value_t>(rd_.read()); }
+        void write(value_t) override {}  // reader ports never write
+        value_t read_paced(const pause_fn& pause) override {
+            return static_cast<value_t>(rd_.read_paced(pause));
+        }
+        bool stall(const pause_fn& during) override {
+            (void)rd_.read_paced(during);
+            return true;
+        }
+
+    private:
+        typename reg_t::reader rd_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role role) override {
+        if (role == port_role::writer) {
+            return std::make_unique<wport>(*reg_, processor);
+        }
+        return std::make_unique<rport>(reg_->make_reader(processor));
+    }
+
+private:
+    std::unique_ptr<reg_t> reg_;
+};
+
+// ------------------------------------------------------------- baseline/* --
+
+/// Adapter over the blocking baselines (mutex / rw-lock). The registers log
+/// their own simulated operations when constructed with a log.
+template <typename Reg>
+class lock_any final : public any_register {
+public:
+    lock_any(value_t initial, event_log* log) : reg_(initial, log) {}
+
+    class port final : public any_port {
+    public:
+        port(Reg& r, processor_id proc, port_role role)
+            : reg_(&r), proc_(proc), role_(role) {}
+
+        value_t read() override { return reg_->read(proc_); }
+        void write(value_t v) override { reg_->write(v, proc_); }
+        bool stall(const pause_fn& during) override {
+            if (role_ != port_role::writer) return false;
+            auto lock = take_lock(*reg_);
+            during();
+            return true;
+        }
+
+    private:
+        static auto take_lock(mutex_register<value_t>& r) { return r.stall(); }
+        static auto take_lock(rwlock_register<value_t>& r) {
+            return r.stall_writer();
+        }
+
+        Reg* reg_;
+        processor_id proc_;
+        port_role role_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role role) override {
+        return std::make_unique<port>(reg_, processor, role);
+    }
+
+private:
+    Reg reg_;
+};
+
+/// Adapter over the native MRMW atomic word; logging is the adapter's job.
+class native_any final : public any_register {
+    using reg_t = native_atomic_register<packed56>;
+
+public:
+    native_any(value_t initial, event_log* log)
+        : reg_(pack56(initial)), log_(log) {}
+
+    class port final : public any_port {
+    public:
+        port(reg_t& r, event_log* log, processor_id proc)
+            : reg_(&r), logger_(log, proc), proc_(proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = static_cast<value_t>(reg_->read(proc_));
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t v) override {
+            logger_.invoke(op_kind::write, v);
+            reg_->write(pack56(v), proc_);
+            logger_.respond(op_kind::write, 0);
+            logger_.finish_op();
+        }
+
+    private:
+        reg_t* reg_;
+        ext_logger logger_;
+        processor_id proc_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role) override {
+        return std::make_unique<port>(reg_, log_, processor);
+    }
+
+private:
+    reg_t reg_;
+    event_log* log_;
+};
+
+// ------------------------------------------------------------------- va/* --
+
+class va_any final : public any_register {
+    using reg_t = va_register<value_t>;
+
+public:
+    va_any(value_t initial, std::size_t writers, event_log* log)
+        : reg_(initial, writers), log_(log) {}
+
+    class wport final : public any_port {
+    public:
+        wport(reg_t::writer_port p, event_log* log, processor_id proc)
+            : p_(std::move(p)), logger_(log, proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = p_.read();
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t v) override {
+            logger_.invoke(op_kind::write, v);
+            p_.write(v);
+            logger_.respond(op_kind::write, 0);
+            logger_.finish_op();
+        }
+
+    private:
+        reg_t::writer_port p_;
+        ext_logger logger_;
+    };
+
+    class rport final : public any_port {
+    public:
+        rport(reg_t& r, event_log* log, processor_id proc)
+            : reg_(&r), logger_(log, proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = reg_->read();
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t) override {}
+
+    private:
+        reg_t* reg_;
+        ext_logger logger_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role role) override {
+        if (role == port_role::writer) {
+            return std::make_unique<wport>(
+                reg_.make_writer_port(static_cast<std::size_t>(processor)),
+                log_, processor);
+        }
+        return std::make_unique<rport>(reg_, log_, processor);
+    }
+
+private:
+    reg_t reg_;
+    event_log* log_;
+};
+
+// ----------------------------------------------------------------- swmr/* --
+
+/// The SWMR-from-SWSR ladder as a 1-writer register in its own right.
+/// The ladder gets readers + 1 ports: reader processor p (>= 1) maps to
+/// port p - 1, and the writer (whose scripted reads must go through a real
+/// port too) owns the extra port `readers`.
+class swmr_any final : public any_register {
+    using reg_t = swmr_from_swsr<value_t>;
+
+public:
+    swmr_any(value_t initial, std::size_t readers, event_log* log)
+        : reg_(tagged<value_t>{initial, false}, readers + 1),
+          writer_read_port_(readers), log_(log) {}
+
+    class wport final : public any_port {
+    public:
+        wport(reg_t& r, std::size_t read_port, event_log* log,
+              processor_id proc)
+            : reg_(&r), rd_(r.make_reader_port(read_port)), logger_(log, proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = rd_.read().value;
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t v) override {
+            logger_.invoke(op_kind::write, v);
+            reg_->write(tagged<value_t>{v, false});
+            logger_.respond(op_kind::write, 0);
+            logger_.finish_op();
+        }
+
+    private:
+        reg_t* reg_;
+        reg_t::reader_port rd_;
+        ext_logger logger_;
+    };
+
+    class rport final : public any_port {
+    public:
+        rport(reg_t::reader_port p, event_log* log, processor_id proc)
+            : p_(std::move(p)), logger_(log, proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = p_.read().value;
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t) override {}
+
+    private:
+        reg_t::reader_port p_;
+        ext_logger logger_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role role) override {
+        if (role == port_role::writer) {
+            return std::make_unique<wport>(reg_, writer_read_port_, log_,
+                                           processor);
+        }
+        return std::make_unique<rport>(
+            reg_.make_reader_port(static_cast<std::size_t>(processor) - 1),
+            log_, processor);
+    }
+
+private:
+    reg_t reg_;
+    std::size_t writer_read_port_;
+    event_log* log_;
+};
+
+// ----------------------------------------------------------- tournament/* --
+
+/// The BROKEN Section 8 tournament (4 writers over native atomic words).
+/// Registered so the harness can demonstrate the failure: checkers are
+/// expected to reject its histories (info.expected_atomic = false).
+/// The register's own logging stays off; the adapter logs every simulated
+/// operation itself so a writer's scripted reads (served by an internal
+/// reader handle) share the writer's per-processor op counter.
+class tournament_any final : public any_register {
+    using reg_t = tournament_four_writer<packed56>;
+
+public:
+    tournament_any(value_t initial, event_log* log)
+        : reg_(pack56(initial), nullptr), log_(log) {}
+
+    class wport final : public any_port {
+    public:
+        wport(reg_t& r, event_log* log, processor_id proc)
+            : w_(r.make_writer(proc)), rd_(r.make_reader(proc)),
+              logger_(log, proc), proc_(proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = static_cast<value_t>(rd_.read());
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t v) override {
+            logger_.invoke(op_kind::write, v);
+            w_.write(pack56(v));
+            logger_.respond(op_kind::write, 0);
+            logger_.finish_op();
+        }
+        void write_paced(value_t v, const pause_fn& pause) override {
+            logger_.invoke(op_kind::write, v);
+            w_.begin_write(pack56(v));
+            pause();
+            w_.finish_write();
+            logger_.respond(op_kind::write, 0);
+            logger_.finish_op();
+        }
+        bool stall(const pause_fn& during) override {
+            write_paced(unique_value(proc_, 0x80000000u + stall_count_++),
+                        during);
+            return true;
+        }
+
+    private:
+        reg_t::writer w_;
+        reg_t::reader rd_;
+        ext_logger logger_;
+        processor_id proc_;
+        std::uint32_t stall_count_{0};
+    };
+
+    class rport final : public any_port {
+    public:
+        rport(reg_t::reader rd, event_log* log, processor_id proc)
+            : rd_(std::move(rd)), logger_(log, proc) {}
+
+        value_t read() override {
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = static_cast<value_t>(rd_.read());
+            logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+            return out;
+        }
+        void write(value_t) override {}
+
+    private:
+        reg_t::reader rd_;
+        ext_logger logger_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role role) override {
+        if (role == port_role::writer) {
+            return std::make_unique<wport>(reg_, log_, processor);
+        }
+        return std::make_unique<rport>(reg_.make_reader(processor), log_,
+                                       processor);
+    }
+
+private:
+    reg_t reg_;
+    event_log* log_;
+};
+
+// --------------------------------------------------------------- registry --
+
+register_info info(std::string name, std::string description,
+                   std::size_t min_writers, std::size_t max_writers,
+                   bool wait_free) {
+    register_info i;
+    i.name = name;
+    i.family = name.substr(0, name.find('/'));
+    i.description = std::move(description);
+    i.min_writers = min_writers;
+    i.max_writers = max_writers;
+    i.wait_free = wait_free;
+    return i;
+}
+
+std::vector<registry_entry> build_registry() {
+    std::vector<registry_entry> r;
+
+    r.push_back({info("bloom/packed",
+                      "Bloom two-writer over one packed atomic word per real "
+                      "register (production substrate)",
+                      2, 2, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     using reg_t =
+                         two_writer_register<packed56,
+                                             packed_atomic_register<packed56>>;
+                     auto reg = std::make_unique<reg_t>(pack56(a.initial));
+                     reg->set_external_log(a.log);
+                     return std::make_unique<
+                         bloom_any<packed56, packed_atomic_register<packed56>>>(
+                         std::move(reg));
+                 }});
+
+    r.push_back({info("bloom/seqlock",
+                      "Bloom two-writer over seqlock registers "
+                      "(arbitrary-size values; readers retry during writes)",
+                      2, 2, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     using reg_t =
+                         two_writer_register<value_t, seqlock_register<value_t>>;
+                     auto reg = std::make_unique<reg_t>(a.initial);
+                     reg->set_external_log(a.log);
+                     return std::make_unique<
+                         bloom_any<value_t, seqlock_register<value_t>>>(
+                         std::move(reg));
+                 }});
+
+    r.push_back({info("bloom/fourslot",
+                      "Bloom two-writer over the depth-2 ladder: SWMR from "
+                      "SWSR four-slot registers (footnote 3)",
+                      2, 2, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     using reg_t =
+                         two_writer_register<value_t, ported_substrate<value_t>>;
+                     const std::size_t n = a.readers;
+                     auto reg = std::make_unique<reg_t>(
+                         a.initial, [n](tagged<value_t> init, int reg_index) {
+                             return ported_substrate<value_t>(init, n, reg_index);
+                         });
+                     reg->set_external_log(a.log);
+                     return std::make_unique<
+                         bloom_any<value_t, ported_substrate<value_t>>>(
+                         std::move(reg));
+                 }});
+
+    {
+        register_info i =
+            info("bloom/recording",
+                 "Bloom two-writer over the recording substrate (gamma log "
+                 "with real accesses; input to the Section 7 checker)",
+                 2, 2, true);
+        i.records_real_accesses = true;
+        i.requires_log = true;
+        r.push_back({std::move(i),
+                     [](const register_args& a) -> std::unique_ptr<any_register> {
+                         using reg_t =
+                             two_writer_register<value_t, recording_register>;
+                         auto reg = std::make_unique<reg_t>(a.initial, a.log);
+                         return std::make_unique<
+                             bloom_any<value_t, recording_register>>(
+                             std::move(reg));
+                     }});
+    }
+
+    r.push_back({info("swmr/fourslot",
+                      "the SWMR-from-SWSR ladder alone: 1 writer, n readers "
+                      "over Simpson four-slot registers",
+                      1, 1, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     return std::make_unique<swmr_any>(a.initial, a.readers,
+                                                       a.log);
+                 }});
+
+    r.push_back({info("va/seqlock",
+                      "n-writer timestamp register (Vitanyi-Awerbuch style, "
+                      "Section 8's way forward) over seqlock cells",
+                      1, 16, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     return std::make_unique<va_any>(a.initial, a.writers,
+                                                     a.log);
+                 }});
+
+    {
+        register_info i =
+            info("tournament/native",
+                 "the BROKEN four-writer tournament (Section 8) over native "
+                 "atomic words -- checkers are expected to reject it",
+                 4, 4, true);
+        i.expected_atomic = false;
+        r.push_back({std::move(i),
+                     [](const register_args& a) -> std::unique_ptr<any_register> {
+                         return std::make_unique<tournament_any>(a.initial,
+                                                                 a.log);
+                     }});
+    }
+
+    r.push_back({info("baseline/mutex",
+                      "blocking MRMW register via one mutex (the Section 4 "
+                      "anti-pattern)",
+                      1, 16, false),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     return std::make_unique<lock_any<mutex_register<value_t>>>(
+                         a.initial, a.log);
+                 }});
+
+    r.push_back({info("baseline/rwlock",
+                      "blocking MRMW register via a readers-writers lock "
+                      "([CHP])",
+                      1, 16, false),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     return std::make_unique<
+                         lock_any<rwlock_register<value_t>>>(a.initial, a.log);
+                 }});
+
+    r.push_back({info("baseline/native",
+                      "one native MRMW atomic word (the hardware upper "
+                      "baseline)",
+                      1, 16, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     return std::make_unique<native_any>(a.initial, a.log);
+                 }});
+
+    return r;
+}
+
+}  // namespace
+
+const std::vector<registry_entry>& registry() {
+    static const std::vector<registry_entry> r = build_registry();
+    return r;
+}
+
+const registry_entry* find_register(std::string_view name) {
+    for (const registry_entry& e : registry()) {
+        if (e.info.name == name) return &e;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> register_names() {
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const registry_entry& e : registry()) names.push_back(e.info.name);
+    return names;
+}
+
+std::unique_ptr<any_register> make_register(std::string_view name,
+                                            const register_args& args,
+                                            std::string* error) {
+    const registry_entry* e = find_register(name);
+    if (e == nullptr) {
+        if (error != nullptr) {
+            *error = "unknown register '" + std::string(name) +
+                     "' (see --list for registered names)";
+        }
+        return nullptr;
+    }
+    if (args.writers < e->info.min_writers ||
+        args.writers > e->info.max_writers) {
+        if (error != nullptr) {
+            *error = e->info.name + " supports " +
+                     std::to_string(e->info.min_writers) + ".." +
+                     std::to_string(e->info.max_writers) + " writers, got " +
+                     std::to_string(args.writers);
+        }
+        return nullptr;
+    }
+    if (e->info.requires_log && args.log == nullptr) {
+        if (error != nullptr) {
+            *error = e->info.name +
+                     " requires a gamma log (run with a recording collection "
+                     "mode)";
+        }
+        return nullptr;
+    }
+    return e->make(args);
+}
+
+}  // namespace bloom87::harness

@@ -1,0 +1,136 @@
+// bloom87: the run-harness register registry.
+//
+// Every register composition the repository can build -- Bloom's two-writer
+// construction over each substrate, the SWMR-from-SWSR ladder, the
+// timestamp-based multi-writer register, the Section 8 tournament, and the
+// blocking/native baselines -- is constructible from a NAME STRING
+// ("bloom/packed", "baseline/mutex", ...) behind one type-erased interface.
+// The driver (driver.hpp), the benches, the examples, and the fuzzer all go
+// through this map, so opening a new register to every workload and checker
+// is one registry entry.
+//
+// Type erasure costs one virtual call per operation. That overhead is
+// uniform across every registered register, so relative comparisons stay
+// honest; absolute numbers are a nanosecond or two above the template-level
+// figures (docs/HARNESS.md discusses this).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/two_writer.hpp"  // crash_point
+#include "histories/event_log.hpp"
+#include "histories/events.hpp"
+
+namespace bloom87::harness {
+
+/// A scheduling hook run in the middle of an operation (adversarial pacing).
+using pause_fn = std::function<void()>;
+
+/// Which side of the register a port drives.
+enum class port_role : std::uint8_t { writer, reader };
+
+/// One processor's handle on a type-erased register. A port must be driven
+/// by at most one thread at a time (the paper's sequential-processor model).
+class any_port {
+public:
+    virtual ~any_port() = default;
+
+    /// Simulated atomic read.
+    [[nodiscard]] virtual value_t read() = 0;
+    /// Simulated atomic write (writer ports only).
+    virtual void write(value_t v) = 0;
+
+    /// Read with an adversarial pause at the protocol's vulnerable point.
+    /// Registers without an internal pacing point run the pause first and
+    /// then the whole operation (a processor that is slow to start).
+    [[nodiscard]] virtual value_t read_paced(const pause_fn& pause) {
+        pause();
+        return read();
+    }
+    /// Write with an adversarial pause; same fallback convention.
+    virtual void write_paced(value_t v, const pause_fn& pause) {
+        pause();
+        write(v);
+    }
+
+    /// Crash injection: run the write protocol but die at `cp`. Returns
+    /// false when the register has no crash machinery (callers fall back to
+    /// a plain write).
+    virtual bool write_crashed(value_t /*v*/, crash_point /*cp*/) { return false; }
+
+    /// The writer's cached read (paper Section 5, 1-2 real reads). Returns
+    /// false when unsupported; `out` is untouched then.
+    virtual bool read_cached(value_t& /*out*/) { return false; }
+
+    /// One operation stalled mid-flight for the duration of `during` --
+    /// a lock holder asleep in its critical section, a Bloom writer asleep
+    /// between its real read and real write. Returns false if the register
+    /// has nothing to stall (then nothing happened).
+    virtual bool stall(const pause_fn& /*during*/) { return false; }
+};
+
+/// Static facts about a registered composition.
+struct register_info {
+    std::string name;         ///< registry key, e.g. "bloom/packed"
+    std::string family;       ///< text before the '/', e.g. "bloom"
+    std::string description;  ///< one line for --list and reports
+    std::size_t min_writers{1};
+    std::size_t max_writers{1};
+    bool wait_free{true};
+    /// Accesses to the real registers appear in the gamma log, so the
+    /// constructive (Section 7) checker can run on recorded histories.
+    bool records_real_accesses{false};
+    /// Must be constructed with a shared gamma log (recording substrate).
+    bool requires_log{false};
+    /// Known NOT to be atomic (the Section 8 tournament) -- checkers are
+    /// expected to fail it.
+    bool expected_atomic{true};
+};
+
+/// A type-erased register instance. Ports are created before the run, one
+/// per participating processor: writer ports for processors [0, writers),
+/// reader ports for processors [writers, writers + readers).
+class any_register {
+public:
+    virtual ~any_register() = default;
+    virtual std::unique_ptr<any_port> make_port(processor_id processor,
+                                                port_role role) = 0;
+};
+
+/// Everything a factory needs to build an instance.
+struct register_args {
+    value_t initial{0};
+    std::size_t writers{2};
+    std::size_t readers{2};
+    /// Shared gamma log, or null for unrecorded runs. When non-null, the
+    /// instance (or its adapter) logs every simulated operation's
+    /// invocation/response into it; the recording substrate additionally
+    /// logs real-register accesses.
+    event_log* log{nullptr};
+};
+
+struct registry_entry {
+    register_info info;
+    std::function<std::unique_ptr<any_register>(const register_args&)> make;
+};
+
+/// The full registry, in presentation order.
+[[nodiscard]] const std::vector<registry_entry>& registry();
+
+/// Looks up one entry; null if the name is unknown.
+[[nodiscard]] const registry_entry* find_register(std::string_view name);
+
+/// All registered names, in presentation order.
+[[nodiscard]] std::vector<std::string> register_names();
+
+/// Constructs a register by name. Returns null and fills `error` when the
+/// name is unknown, the writer count is out of the entry's range, or the
+/// entry requires a log and none was given.
+[[nodiscard]] std::unique_ptr<any_register> make_register(
+    std::string_view name, const register_args& args, std::string* error);
+
+}  // namespace bloom87::harness

@@ -1,0 +1,185 @@
+#include "harness/report.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+namespace bloom87::harness {
+namespace {
+
+[[nodiscard]] const char* schedule_name(schedule_mode m) {
+    return m == schedule_mode::seeded ? "seeded" : "threads";
+}
+
+[[nodiscard]] const char* collect_name(collect_mode m) {
+    switch (m) {
+        case collect_mode::gamma: return "gamma";
+        case collect_mode::per_thread: return "per_thread";
+        case collect_mode::none: break;
+    }
+    return "none";
+}
+
+}  // namespace
+
+report_writer::report_writer(std::ostream& os, const std::string& bench)
+    : os_(os), w_(os) {
+    w_.begin_object();
+    w_.field("schema", "bloom87-harness-v1");
+    w_.field("bench", bench);
+    w_.key("environment").begin_object();
+    w_.field("hardware_concurrency", std::thread::hardware_concurrency());
+#if defined(__VERSION__)
+    w_.field("compiler", __VERSION__);
+#endif
+#if defined(NDEBUG)
+    w_.field("build", "release");
+#else
+    w_.field("build", "debug");
+#endif
+    w_.end_object();
+    w_.key("runs").begin_array();
+}
+
+report_writer::~report_writer() { finish(); }
+
+void report_writer::add_run(const run_spec& spec, const run_result& result,
+                            const pipeline_result* checks,
+                            const std::function<void(json_writer&)>& extra) {
+    if (section_ != section::runs) return;
+    w_.begin_object();
+    w_.field("register", spec.register_name);
+    w_.field("ok", result.ok);
+    if (!result.ok) w_.field("error", result.error);
+
+    w_.key("config").begin_object();
+    w_.field("writers", static_cast<std::uint64_t>(spec.load.writers));
+    w_.field("readers", static_cast<std::uint64_t>(spec.load.readers));
+    w_.field("ops_per_writer",
+             static_cast<std::uint64_t>(spec.load.ops_per_writer));
+    w_.field("ops_per_reader",
+             static_cast<std::uint64_t>(spec.load.ops_per_reader));
+    w_.field("seed", spec.seed);
+    w_.field("duration_ms", spec.duration_ms);
+    w_.field("warmup_ms", spec.warmup_ms);
+    w_.field("schedule", schedule_name(spec.schedule));
+    w_.field("collect", collect_name(spec.collect));
+    w_.field("cached_writer_reads", spec.cached_writer_reads);
+    w_.end_object();
+
+    w_.key("totals").begin_object();
+    w_.field("reads", result.total_reads);
+    w_.field("writes", result.total_writes);
+    w_.field("measured_s", result.measured_s);
+    const double total_ops =
+        static_cast<double>(result.total_reads + result.total_writes);
+    w_.field("ops_per_sec",
+             result.measured_s > 0 ? total_ops / result.measured_s : 0.0);
+    w_.field("crashes_injected", result.crashes_injected);
+    w_.field("events", static_cast<std::uint64_t>(result.events.size()));
+    w_.field("log_overflowed", result.log_overflowed);
+    w_.end_object();
+
+    w_.key("threads").begin_array();
+    for (const thread_result& tr : result.threads) {
+        w_.begin_object();
+        w_.field("processor", static_cast<int>(tr.processor));
+        w_.field("role",
+                 tr.role == port_role::writer ? "writer" : "reader");
+        w_.field("reads", tr.reads);
+        w_.field("writes", tr.writes);
+        w_.field("ops_per_sec", tr.ops_per_sec);
+        if (tr.samples > 0) {
+            w_.field("p50_us", tr.p50_us);
+            w_.field("p99_us", tr.p99_us);
+            w_.field("max_us", tr.max_us);
+            w_.field("samples", tr.samples);
+        }
+        w_.end_object();
+    }
+    w_.end_array();
+
+    if (checks != nullptr) {
+        w_.key("checkers").begin_array();
+        for (const check_verdict& v : checks->verdicts) {
+            w_.begin_object();
+            w_.field("checker", checker_name(v.kind));
+            w_.field("ran", v.ran);
+            if (!v.ran) {
+                w_.field("skip_reason", v.skip_reason);
+            } else {
+                w_.field("pass", v.pass);
+                if (!v.pass) w_.field("diagnosis", v.diagnosis);
+                w_.field("millis", v.millis);
+                if (v.kind == checker_kind::bloom) {
+                    w_.field("potent_writes",
+                             static_cast<std::uint64_t>(v.potent_writes));
+                    w_.field("impotent_writes",
+                             static_cast<std::uint64_t>(v.impotent_writes));
+                    w_.field("reads_of_potent",
+                             static_cast<std::uint64_t>(v.reads_of_potent));
+                    w_.field("reads_of_impotent",
+                             static_cast<std::uint64_t>(v.reads_of_impotent));
+                    w_.field("reads_of_initial",
+                             static_cast<std::uint64_t>(v.reads_of_initial));
+                }
+            }
+            w_.end_object();
+        }
+        w_.end_array();
+        w_.field("operations", static_cast<std::uint64_t>(checks->operations));
+        w_.field("history_parsed", checks->parsed);
+        if (!checks->parsed) w_.field("parse_error", checks->parse_error);
+        w_.field("all_pass", checks->all_pass());
+    }
+
+    if (extra) extra(w_);
+    w_.end_object();
+}
+
+void report_writer::add_table(const std::string& name, const table& t) {
+    if (section_ == section::done) return;
+    if (section_ == section::runs) {
+        w_.end_array();
+        w_.key("tables").begin_array();
+        section_ = section::tables;
+    }
+    w_.begin_object();
+    w_.field("name", name);
+    w_.key("header").begin_array();
+    for (const std::string& h : t.header()) w_.value(h);
+    w_.end_array();
+    w_.key("rows").begin_array();
+    for (const auto& row : t.rows()) {
+        w_.begin_array();
+        for (const std::string& cell : row) w_.value(cell);
+        w_.end_array();
+    }
+    w_.end_array();
+    w_.end_object();
+}
+
+void report_writer::finish() {
+    if (section_ == section::done) return;
+    w_.end_array();  // runs or tables
+    w_.end_object();
+    os_ << "\n";
+    section_ = section::done;
+}
+
+bool write_report_file(const std::string& path, const std::string& bench,
+                       const run_spec& spec, const run_result& result,
+                       const pipeline_result* checks) {
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return false;
+    }
+    report_writer rep(os, bench);
+    rep.add_run(spec, result, checks);
+    rep.finish();
+    std::cout << "wrote " << path << "\n";
+    return true;
+}
+
+}  // namespace bloom87::harness

@@ -1,0 +1,87 @@
+// bloom87: the one JSON report schema ("bloom87-harness-v1").
+//
+// Every bench/example binary emits the same machine-readable shape so
+// cross-PR tracking tooling parses one format:
+//
+//   {
+//     "schema": "bloom87-harness-v1",
+//     "bench": "<binary name>",
+//     "environment": { "hardware_concurrency": N, "compiler": "...",
+//                      "build": "release|debug" },
+//     "runs": [ {
+//        "register": "...",
+//        "config":   { writers, readers, ops, seed, duration_ms,
+//                      schedule, collect },
+//        "totals":   { reads, writes, ops_per_sec, measured_s,
+//                      crashes_injected, events },
+//        "threads":  [ { processor, role, reads, writes, ops_per_sec,
+//                        p50_us, p99_us, max_us, samples } ],
+//        "checkers": [ { checker, ran, pass, skip_reason, diagnosis,
+//                        millis, operations, impotent_writes } ],
+//        ...bench-specific extras... } ],
+//     "tables": [ { "name": "...", "header": [...], "rows": [[...]] } ]
+//   }
+//
+// `runs` carries harness-driven runs; `tables` carries any ASCII table a
+// bench also prints (so table-shaped benches get --json for free). Either
+// section may be empty.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "harness/checkers.hpp"
+#include "harness/driver.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace bloom87 {
+class table;
+}
+
+namespace bloom87::harness {
+
+/// Streaming report emitter. Usage:
+///   report_writer rep(os, "throughput");
+///   rep.add_run(spec, result, checks);       // any number of times
+///   rep.add_table("scaling", t);             // after the last add_run
+///   rep.finish();
+class report_writer {
+public:
+    report_writer(std::ostream& os, const std::string& bench);
+    ~report_writer();
+
+    report_writer(const report_writer&) = delete;
+    report_writer& operator=(const report_writer&) = delete;
+
+    /// Emits one run. `extra` (optional) appends bench-specific fields to
+    /// the run object through the raw json_writer.
+    void add_run(const run_spec& spec, const run_result& result,
+                 const pipeline_result* checks = nullptr,
+                 const std::function<void(json_writer&)>& extra = nullptr);
+
+    /// Emits one ASCII table structurally. All add_run calls must precede
+    /// the first add_table.
+    void add_table(const std::string& name, const table& t);
+
+    /// Closes the document (also run by the destructor).
+    void finish();
+
+private:
+    std::ostream& os_;
+    json_writer w_;
+    enum class section : std::uint8_t { runs, tables, done } section_{
+        section::runs};
+};
+
+/// Writes a one-document report for a single run to `path`; the workhorse
+/// behind every binary's --json flag. Returns false (with a message on
+/// stderr) when the file cannot be written.
+[[nodiscard]] bool write_report_file(const std::string& path,
+                                     const std::string& bench,
+                                     const run_spec& spec,
+                                     const run_result& result,
+                                     const pipeline_result* checks = nullptr);
+
+}  // namespace bloom87::harness

@@ -7,6 +7,7 @@ namespace bloom87 {
 workload make_workload(const workload_config& cfg, std::uint64_t seed) {
     rng gen(seed);
     workload w;
+    w.writers = cfg.writers;
     w.scripts.resize(cfg.writers + cfg.readers);
 
     for (std::size_t p = 0; p < cfg.writers; ++p) {

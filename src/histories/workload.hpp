@@ -21,14 +21,34 @@ struct workload_op {
     value_t value{0};  ///< only meaningful for writes
 };
 
-/// Scripts, indexed by processor id (0..1 = writers, 2.. = readers).
+/// Scripts, indexed by processor id. The writer count is a first-class
+/// field: processors [0, writers) are writers, [writers, scripts.size())
+/// are readers. (Bloom uses writers == 2; the tournament baseline 4; the
+/// SWMR ladder 1 -- drivers must consult `writers` rather than assume 2.)
 struct workload {
     std::vector<std::vector<workload_op>> scripts;
+    std::size_t writers{2};
+
+    [[nodiscard]] std::size_t readers() const noexcept {
+        return scripts.size() - writers;
+    }
 
     [[nodiscard]] std::size_t total_ops() const noexcept {
         std::size_t n = 0;
         for (const auto& s : scripts) n += s.size();
         return n;
+    }
+
+    /// Sanity of the processor-id convention: writer count within range and
+    /// writer scripts are the only ones containing writes.
+    [[nodiscard]] bool valid() const noexcept {
+        if (writers > scripts.size()) return false;
+        for (std::size_t p = writers; p < scripts.size(); ++p) {
+            for (const workload_op& op : scripts[p]) {
+                if (op.kind == op_kind::write) return false;
+            }
+        }
+        return true;
     }
 };
 

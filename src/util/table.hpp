@@ -27,6 +27,15 @@ public:
 
     [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+    /// Structured access for machine-readable emission (harness reports).
+    [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+        return header_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+        const noexcept {
+        return rows_;
+    }
+
     /// Renders the table with a separator line under the header.
     void print(std::ostream& os) const;
 

@@ -1,162 +1,101 @@
 // Scale stress: large histories, long-running contention, and many reader
-// threads. Kept to tens of seconds total; the point is to shake out races
-// and scale limits the small tests cannot reach.
+// threads, all driven through the run harness (src/harness). Kept to tens
+// of seconds total; the point is to shake out races and scale limits the
+// small tests cannot reach.
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <thread>
-#include <vector>
-
-#include "core/two_writer.hpp"
-#include "histories/event_log.hpp"
-#include "histories/workload.hpp"
-#include "linearizability/bloom_linearizer.hpp"
-#include "linearizability/fast_register.hpp"
-#include "registers/packed_atomic.hpp"
-#include "registers/recording.hpp"
-#include "util/rng.hpp"
-#include "util/sync.hpp"
+#include "harness/checkers.hpp"
+#include "harness/driver.hpp"
 
 namespace bloom87 {
 namespace {
 
+using namespace bloom87::harness;
+
 TEST(Stress, QuarterMillionOpsCheckedEndToEnd) {
-    // 2 writers x 50k writes + 4 readers x 40k reads, recorded and verified
-    // by BOTH the constructive linearizer and the fast checker.
-    constexpr std::uint32_t writes_each = 50000;
-    constexpr int reads_each = 40000;
-    event_log log(4u * (2 * writes_each * 4 + 4 * reads_each * 5) / 3);
-    two_writer_register<value_t, recording_register> reg(0, &log);
-    start_gate gate;
+    // 2 writers x 50k ops + 4 readers x 40k reads on the recording
+    // substrate, verified by BOTH the constructive linearizer and the fast
+    // checker through the pipeline.
+    run_spec spec;
+    spec.register_name = "bloom/recording";
+    spec.load.writers = 2;
+    spec.load.readers = 4;
+    spec.load.ops_per_writer = 50000;
+    spec.load.ops_per_reader = 40000;
+    spec.seed = 7;
+    spec.collect = collect_mode::gamma;
 
-    std::vector<std::thread> pool;
-    for (int w = 0; w < 2; ++w) {
-        pool.emplace_back([&, w] {
-            gate.wait();
-            auto& wr = w == 0 ? reg.writer0() : reg.writer1();
-            for (std::uint32_t i = 0; i < writes_each; ++i) {
-                wr.write(unique_value(static_cast<processor_id>(w), i));
-            }
-        });
+    const run_result res = run(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_FALSE(res.log_overflowed);
+    EXPECT_EQ(res.total_reads + res.total_writes,
+              2u * 50000 + 4u * 40000);
+
+    const pipeline_result checks = run_checkers(
+        res.events, 0, {checker_kind::bloom, checker_kind::fast});
+    ASSERT_TRUE(checks.parsed) << checks.parse_error;
+    EXPECT_EQ(checks.operations, 2u * 50000 + 4u * 40000);
+    for (const check_verdict& v : checks.verdicts) {
+        ASSERT_TRUE(v.ran) << checker_name(v.kind) << ": " << v.skip_reason;
+        EXPECT_TRUE(v.pass) << checker_name(v.kind) << ": " << v.diagnosis;
     }
-    for (int r = 0; r < 4; ++r) {
-        pool.emplace_back([&, r] {
-            gate.wait();
-            auto rd = reg.make_reader(static_cast<processor_id>(2 + r));
-            for (int i = 0; i < reads_each; ++i) (void)rd.read();
-        });
-    }
-    gate.open();
-    for (auto& t : pool) t.join();
-
-    ASSERT_FALSE(log.overflowed());
-    parse_result parsed = parse_history(log.snapshot(), 0);
-    ASSERT_TRUE(parsed.ok()) << parsed.error->message;
-    EXPECT_EQ(parsed.hist.ops.size(), 2u * writes_each + 4u * reads_each);
-
-    const bloom_result constructive = bloom_linearize(parsed.hist);
-    ASSERT_TRUE(constructive.ok()) << *constructive.defect;
-    EXPECT_TRUE(constructive.atomic) << constructive.diagnosis;
-
-    const auto fast = check_fast(parsed.hist.ops, 0);
-    ASSERT_TRUE(fast.ok()) << *fast.defect;
-    EXPECT_TRUE(fast.linearizable) << fast.diagnosis;
 }
 
 TEST(Stress, ManyReaderThreadsOnPackedSubstrate) {
-    // 12 reader threads against both writers on the lock-free substrate;
-    // every reader's view must be monotone in each writer's own sequence
-    // (per-writer values encode their order; last-write-wins between
-    // writers is covered by the checker tests).
-    two_writer_register<std::int32_t, packed_atomic_register<std::int32_t>>
-        reg(0);
-    start_gate gate;
-    std::atomic<bool> done{false};
-    std::atomic<int> violations{0};
+    // 12 reader threads against both writers on the lock-free substrate,
+    // with contention-free per-thread event collection; the merged history
+    // must be linearizable (strictly stronger than the per-writer
+    // monotonicity the pre-harness version of this test asserted).
+    run_spec spec;
+    spec.register_name = "bloom/packed";
+    spec.load.writers = 2;
+    spec.load.readers = 12;
+    spec.load.ops_per_writer = 20000;
+    spec.load.ops_per_reader = 15000;
+    spec.seed = 11;
+    spec.collect = collect_mode::per_thread;
 
-    std::vector<std::thread> pool;
-    for (int w = 0; w < 2; ++w) {
-        pool.emplace_back([&, w] {
-            gate.wait();
-            // values: writer in the high bit-range, counter below.
-            for (std::int32_t i = 1; i <= 400000; ++i) {
-                (w == 0 ? reg.writer0() : reg.writer1())
-                    .write((w << 24) | i);
-            }
-            done.store(true, std::memory_order_release);
-        });
-    }
-    for (int r = 0; r < 12; ++r) {
-        pool.emplace_back([&, r] {
-            auto rd = reg.make_reader(static_cast<processor_id>(2 + r));
-            gate.wait();
-            std::int32_t last_per_writer[2] = {0, 0};
-            while (!done.load(std::memory_order_acquire)) {
-                const std::int32_t v = rd.read();
-                const int w = (v >> 24) & 1;
-                const std::int32_t seq = v & 0xFFFFFF;
-                // A writer's own values can never go backwards.
-                if (seq < last_per_writer[w]) {
-                    // Re-check: an OLD value of writer w may legitimately
-                    // reappear only if... it cannot: w's register only
-                    // moves forward and the protocol never resurrects it.
-                    violations.fetch_add(1);
-                }
-                last_per_writer[w] = std::max(last_per_writer[w], seq);
-            }
-        });
-    }
-    gate.open();
-    for (auto& t : pool) t.join();
-    EXPECT_EQ(violations.load(), 0);
+    const run_result res = run(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.threads.size(), 14u);
+
+    const pipeline_result checks =
+        run_checkers(res.events, 0, {checker_kind::fast});
+    ASSERT_TRUE(checks.parsed) << checks.parse_error;
+    ASSERT_EQ(checks.verdicts.size(), 1u);
+    ASSERT_TRUE(checks.verdicts[0].ran) << checks.verdicts[0].skip_reason;
+    EXPECT_TRUE(checks.verdicts[0].pass) << checks.verdicts[0].diagnosis;
 }
 
 TEST(Stress, PacedContentionKeepsLemmasTrue) {
     // Long paced run maximizing impotent writes; the linearizer revalidates
     // Lemmas 1/2/4 on every one of them.
-    event_log log(1 << 20);
-    two_writer_register<value_t, recording_register> reg(0, &log);
-    start_gate gate;
-    auto writer_loop = [&](int index) {
-        rng pace(1234 + static_cast<std::uint64_t>(index));
-        auto& wr = index == 0 ? reg.writer0() : reg.writer1();
-        for (std::uint32_t i = 0; i < 12000; ++i) {
-            const bool stall = pace.chance(1, 12);
-            wr.write_paced(unique_value(static_cast<processor_id>(index), i),
-                           [&] {
-                               if (stall) {
-                                   std::this_thread::sleep_for(
-                                       std::chrono::microseconds(20));
-                               }
-                           });
-        }
-    };
-    std::thread a([&] { gate.wait(); writer_loop(0); });
-    std::thread b([&] { gate.wait(); writer_loop(1); });
-    std::thread c([&] {
-        gate.wait();
-        auto rd = reg.make_reader(2);
-        rng pace(999);
-        for (int i = 0; i < 15000; ++i) {
-            (void)rd.read_paced([&] {
-                if (pace.chance(1, 8)) {
-                    std::this_thread::sleep_for(std::chrono::microseconds(15));
-                }
-            });
-        }
-    });
-    gate.open();
-    a.join();
-    b.join();
-    c.join();
+    run_spec spec;
+    spec.register_name = "bloom/recording";
+    spec.load.writers = 2;
+    spec.load.readers = 1;
+    spec.load.ops_per_writer = 12000;
+    spec.load.ops_per_reader = 15000;
+    spec.seed = 1234;
+    spec.collect = collect_mode::gamma;
+    spec.pace.writer_pace_num = 1;
+    spec.pace.writer_pace_den = 12;
+    spec.pace.reader_pace_num = 1;
+    spec.pace.reader_pace_den = 8;
+    spec.pace.pause_yields = 512;
 
-    ASSERT_FALSE(log.overflowed());
-    parse_result parsed = parse_history(log.snapshot(), 0);
-    ASSERT_TRUE(parsed.ok()) << parsed.error->message;
-    const bloom_result res = bloom_linearize(parsed.hist);
-    ASSERT_TRUE(res.ok()) << *res.defect;
-    EXPECT_TRUE(res.atomic) << res.diagnosis;
-    EXPECT_GT(res.impotent_count, 0u);
+    const run_result res = run(spec);
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_FALSE(res.log_overflowed);
+
+    const pipeline_result checks =
+        run_checkers(res.events, 0, {checker_kind::bloom});
+    ASSERT_TRUE(checks.parsed) << checks.parse_error;
+    ASSERT_EQ(checks.verdicts.size(), 1u);
+    const check_verdict& v = checks.verdicts[0];
+    ASSERT_TRUE(v.ran) << v.skip_reason;
+    EXPECT_TRUE(v.pass) << v.diagnosis;
+    EXPECT_GT(v.impotent_writes, 0u);
 }
 
 }  // namespace
