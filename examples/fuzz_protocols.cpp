@@ -9,7 +9,13 @@
 // unexpected verdict stops the run with the serialized gamma so it can be
 // replayed through check_history.
 //
-// Usage: fuzz_protocols [rounds] [base_seed]     (defaults: 50, 1)
+// With --fault=<class> the fuzzer instead tortures the faulty/ compositions
+// under that substrate fault class with the online verifier attached:
+// value-corrupting classes must produce detected violations (exit 1 if the
+// whole run stays silent), port_crash must stay clean on every round.
+//
+// Usage: fuzz_protocols [rounds] [base_seed] [--fault=<class>]
+//        (defaults: 50, 1, no fault)
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -115,17 +121,131 @@ bool run_round(const registry_entry& e, const run_spec& spec,
     return false;
 }
 
+/// The --fault mode: every round runs each faulty/ composition under one
+/// substrate fault class, online verifier attached. Returns the exit code.
+int fuzz_faulty(fault_class cls, std::uint64_t rounds,
+                std::uint64_t base_seed) {
+    const std::vector<std::string> comps = {
+        "faulty/seqlock", "faulty/fourslot", "faulty/recording"};
+    rng meta(base_seed ^ 0xFA417);
+    std::uint64_t runs = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t injected_total = 0;
+    std::uint64_t silent_rounds = 0;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        for (const std::string& comp : comps) {
+            run_spec spec;
+            spec.register_name = comp;
+            spec.seed = base_seed * 100000 + runs;
+            spec.load.writers = 2;
+            spec.load.readers = 1 + meta.below(3);
+            spec.load.ops_per_writer = 100 + meta.below(300);
+            spec.load.ops_per_reader = 100 + meta.below(300);
+            spec.collect = collect_mode::gamma;
+            // Seeded: the fault plan and the schedule replay byte for byte,
+            // so a reported seed reproduces the round exactly.
+            spec.schedule = schedule_mode::seeded;
+            spec.fault.cls = cls;
+            spec.fault.rate_num = 1;
+            spec.fault.rate_den = 64;
+            spec.fault.seed = spec.seed;
+            spec.online_monitor = true;
+            spec.monitor_stride = 32;
+            ++runs;
+
+            const run_result res = run(spec);
+            if (!res.ok) {
+                std::fprintf(stderr, "%s seed %llu: RUN FAILED: %s\n",
+                             comp.c_str(),
+                             static_cast<unsigned long long>(spec.seed),
+                             res.error.c_str());
+                return 1;
+            }
+            const pipeline_result checks = run_checkers(
+                res.events, spec.initial,
+                {checker_kind::fast, checker_kind::monitor});
+            if (!checks.parsed) {
+                std::fprintf(stderr, "%s seed %llu: MALFORMED GAMMA: %s\n",
+                             comp.c_str(),
+                             static_cast<unsigned long long>(spec.seed),
+                             checks.parse_error.c_str());
+                write_gamma(std::cerr, res.events, spec.initial);
+                return 1;
+            }
+            injected_total += res.faults_injected.total();
+            if (corrupts_values(cls)) {
+                if (res.online.violation) {
+                    ++detections;
+                    // The offline pipeline must agree with the verifier --
+                    // they check the same prefix-closed property.
+                    if (checks.all_pass()) {
+                        std::fprintf(stderr,
+                                     "%s seed %llu: online verifier and "
+                                     "checker pipeline DISAGREE\n",
+                                     comp.c_str(),
+                                     static_cast<unsigned long long>(
+                                         spec.seed));
+                        write_gamma(std::cerr, res.events, spec.initial);
+                        return 1;
+                    }
+                } else {
+                    ++silent_rounds;
+                }
+            } else if (!checks.all_pass() || res.online.violation) {
+                // Crash-class faults stay inside the paper's fault model:
+                // any violation is a real bug.
+                std::fprintf(stderr,
+                             "%s seed %llu: %s broke atomicity "
+                             "(UNEXPECTED)\n",
+                             comp.c_str(),
+                             static_cast<unsigned long long>(spec.seed),
+                             fault_class_name(cls));
+                write_gamma(std::cerr, res.events, spec.initial);
+                return 1;
+            }
+        }
+    }
+    std::printf("fuzz --fault=%s: %llu runs, %llu faults injected, "
+                "%llu detected violations, %llu silent\n",
+                fault_class_name(cls), static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(injected_total),
+                static_cast<unsigned long long>(detections),
+                static_cast<unsigned long long>(silent_rounds));
+    if (corrupts_values(cls) && detections == 0) {
+        std::fprintf(stderr,
+                     "every %s round went UNDETECTED -- the monitor lost "
+                     "its teeth\n",
+                     fault_class_name(cls));
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::uint64_t rounds = 50;
     std::uint64_t base_seed = 1;
+    std::string fault_name{"none"};
     flag_parser parser("fuzz_protocols",
                        "randomized registry-wide torture through the harness");
     parser.add_positional("rounds", "fuzzing rounds", &rounds);
     parser.add_positional("base_seed", "base workload seed", &base_seed);
+    parser.add_string("fault",
+                      "torture faulty/ compositions under this substrate "
+                      "fault class instead of the registry sweep",
+                      &fault_name);
     if (!parser.parse(argc, argv)) return 64;
     if (parser.help_requested()) return 0;
+    if (fault_name != "none") {
+        const auto cls = parse_fault_class(fault_name);
+        if (!cls || *cls == fault_class::none) {
+            std::fprintf(stderr, "unknown fault class '%s'\n",
+                         fault_name.c_str());
+            return 64;
+        }
+        return fuzz_faulty(*cls, rounds, base_seed);
+    }
 
     rng meta(base_seed);
     std::uint64_t runs = 0;

@@ -7,6 +7,7 @@
 //   model_explorer [--threads N] tournament [reads]
 //   model_explorer [--threads N] fourslot   safe|regular|atomic [writes] [reads]
 //   model_explorer [--threads N] unary      [k] [reads]
+//   model_explorer [--threads N] faulty     <fault_class> [writes] [reads] [max_faults]
 //
 // --threads selects the worker count of the parallel explorer (default:
 // hardware_concurrency; 1 = the deterministic sequential order). Defaults
@@ -14,6 +15,8 @@
 //   ./model_explorer bloom 2 1 1        # Bloom, 2 writes each, 1 reader
 //   ./model_explorer fourslot regular   # shows why regular bits fail
 //   ./model_explorer --threads 8 bloom 2 2 1
+//   ./model_explorer faulty stale_read  # concrete violating schedule
+//   ./model_explorer faulty port_crash  # exhaustive pass: crashes tolerated
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -105,6 +108,50 @@ int main(int argc, char** argv) {
         return report(explore(s, cfg));
     }
 
+    if (mode == "faulty") {
+        // Bloom's protocol over a FAULTY substrate (registers/faulty.hpp
+        // semantics, modeled): value-corrupting classes are expected to
+        // exhibit a violating schedule (exit 2, history printed);
+        // port_crash is expected to pass exhaustively (exit 0).
+        const std::string cls_name = argc > 2 ? argv[2] : "stale_read";
+        const auto cls = parse_fault_class(cls_name);
+        if (!cls || *cls == fault_class::none) {
+            std::fprintf(stderr,
+                         "unknown fault class '%s' (want stale_read, "
+                         "lost_write, torn_value, delayed_visibility, or "
+                         "port_crash)\n",
+                         cls_name.c_str());
+            return 64;
+        }
+        const int writes = arg_or(argc, argv, 3, 1);
+        const int reads = arg_or(argc, argv, 4, 1);
+        const int max_faults = arg_or(argc, argv, 5, 1);
+        std::printf("Bloom two-writer over a FAULTY substrate: class %s, "
+                    "%d write(s)/writer, 1 reader x %d read(s), <= %d "
+                    "fault(s)/process\n",
+                    fault_class_name(*cls), writes, reads, max_faults);
+        std::printf("expected: %s\n\n",
+                    corrupts_values(*cls)
+                        ? "VIOLATION FOUND (value corruption breaks atomicity)"
+                        : "PROPERTY HOLDS (crashes leave the register atomic)");
+        sim_state s;
+        const auto domain = static_cast<mc_value>((2 * writes + 1) * 2);
+        for (int i = 0; i < 2; ++i) {
+            mc_register r = make_reg(reg_level::atomic, domain, 0);
+            r.track_previous = true;  // stale reads serve from r.previous
+            s.registers.push_back(r);
+        }
+        std::vector<mc_value> s0, s1;
+        for (int i = 1; i <= writes; ++i) s0.push_back(static_cast<mc_value>(i));
+        for (int i = 1; i <= writes; ++i) {
+            s1.push_back(static_cast<mc_value>(writes + i));
+        }
+        s.procs.push_back(make_faulty_bloom_writer(0, s0, *cls, max_faults));
+        s.procs.push_back(make_faulty_bloom_writer(1, s1, *cls, max_faults));
+        s.procs.push_back(make_faulty_bloom_reader(2, reads, *cls, max_faults));
+        return report(explore(s, cfg));
+    }
+
     if (mode == "tournament") {
         const int reads = arg_or(argc, argv, 2, 2);
         std::printf("Four-writer tournament (Section 8): 3 writers x 1 write, "
@@ -168,7 +215,7 @@ int main(int argc, char** argv) {
     }
 
     std::fprintf(stderr,
-                 "usage: %s bloom|tournament|fourslot|unary [args...]\n",
+                 "usage: %s bloom|faulty|tournament|fourslot|unary [args...]\n",
                  argv[0]);
     return 64;
 }

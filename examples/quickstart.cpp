@@ -53,6 +53,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total_writes),
                 static_cast<unsigned long long>(result.total_reads),
                 result.threads.size(), result.measured_s * 1e3);
+    if (spec.fault.active()) {
+        std::printf("  fault      %s: %llu injected\n",
+                    fault_class_name(spec.fault.cls),
+                    static_cast<unsigned long long>(
+                        result.faults_injected.total()));
+    }
+    if (result.online.ran) {
+        if (result.online.violation) {
+            std::printf("  online     VIOLATION at prefix %llu",
+                        static_cast<unsigned long long>(
+                            result.online.detection_prefix));
+            if (result.online.injection_pos != no_event) {
+                std::printf(" (latency %llu ops after injection)",
+                            static_cast<unsigned long long>(
+                                result.online.latency_ops));
+            }
+            if (result.online.culprit_known) {
+                std::printf(", culprit proc %u op %llu",
+                            static_cast<unsigned>(
+                                result.online.culprit.processor),
+                            static_cast<unsigned long long>(
+                                result.online.culprit.op));
+            }
+            std::printf("\n");
+        } else {
+            std::printf("  online     clean\n");
+        }
+    }
 
     const pipeline_result checks =
         run_checkers(result.events, spec.initial, *kinds);
@@ -81,9 +109,18 @@ int main(int argc, char** argv) {
         return 66;
     }
 
-    // The known-broken tournament is EXPECTED to fail its checkers; every
-    // other registered register must pass.
-    if (result.info.expected_atomic && !checks.all_pass()) {
+    // The known-broken tournament is EXPECTED to fail its checkers, and a
+    // run with an armed value-corrupting fault is expected to be flagged;
+    // every other register must pass.
+    const bool corruption_armed =
+        spec.fault.active() && corrupts_values(spec.fault.cls);
+    if (corruption_armed) {
+        if (checks.all_pass() && !result.online.violation) {
+            std::printf("note: injected %s faults went undetected this run "
+                        "(try more ops or a higher rate)\n",
+                        fault_class_name(spec.fault.cls));
+        }
+    } else if (result.info.expected_atomic && !checks.all_pass()) {
         std::printf("UNEXPECTED: %s failed atomicity checking\n",
                     spec.register_name.c_str());
         return 1;

@@ -172,12 +172,26 @@ public:
         /// Failure injection: run the write protocol but crash at `cp`.
         /// The invocation is logged (if recording) but never acknowledged;
         /// the handle remains usable, modeling a processor that recovers
-        /// with fresh state.
+        /// with fresh state. An out-of-range `cp` (a cast from a bad
+        /// integer) is a programming error, rejected up front rather than
+        /// silently running the full protocol as after_write would.
         void write_crashed(T v, crash_point cp) {
+            assert(cp == crash_point::before_read ||
+                   cp == crash_point::after_read ||
+                   cp == crash_point::after_write);
             const access_context ctx = begin(op_kind::write, v);
-            if (cp == crash_point::before_read) return;
+            switch (cp) {
+                case crash_point::before_read:
+                    return;  // no real access: the write is never visible
+                case crash_point::after_read:
+                case crash_point::after_write:
+                    break;
+                default:
+                    return;  // out-of-range (release builds): act as
+                             // before_read, the most conservative crash
+            }
             const tagged<T> other = owner_->regs_[1 - index_].read(ctx);
-            if (cp == crash_point::after_read) return;
+            if (cp == crash_point::after_read) return;  // read but no write
             const bool t = writer_tag_choice(index_, other.tag);
             owner_->regs_[index_].write(tagged<T>{v, t}, ctx);
             cache_ = tagged<T>{v, t};

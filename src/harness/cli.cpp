@@ -178,6 +178,22 @@ void common_flags::add_to(flag_parser& p) {
     p.add_unsigned("threads", "worker threads where applicable (0 = auto)",
                    &threads);
     p.add_flag("list", "print the register registry and exit", &list);
+    p.add_string("fault",
+                 "substrate fault class (none,stale_read,lost_write,"
+                 "torn_value,delayed_visibility,port_crash); faulty/ "
+                 "registers only",
+                 &fault);
+    p.add_string("fault-rate",
+                 "per-access trigger probability, 'num/den' or 'den' (=1/den)",
+                 &fault_rate);
+    p.add_uint64("fault-seed", "seed of the fault plan's private rng",
+                 &fault_seed);
+    p.add_uint64("fault-at",
+                 "inject at exactly the nth substrate access (0 = use rate)",
+                 &fault_at);
+    p.add_flag("online",
+               "run the online atomicity verifier concurrently with the run",
+               &online);
 }
 
 run_spec common_flags::to_spec() const {
@@ -189,9 +205,40 @@ run_spec common_flags::to_spec() const {
     spec.load.ops_per_reader = ops;
     spec.seed = seed;
     spec.duration_ms = duration_ms;
+
+    const std::optional<fault_class> cls = parse_fault_class(fault);
+    if (!cls.has_value()) {
+        std::cerr << "warning: unknown fault class '" << fault
+                  << "' ignored (known: none, stale_read, lost_write, "
+                     "torn_value, delayed_visibility, port_crash)\n";
+    } else {
+        spec.fault.cls = *cls;
+    }
+    spec.fault.seed = fault_seed;
+    spec.fault.at = fault_at;
+    std::uint64_t num = 1;
+    std::uint64_t den = 64;
+    const std::size_t slash = fault_rate.find('/');
+    const bool rate_ok =
+        slash == std::string::npos
+            ? parse_number(fault_rate, &den)
+            : parse_number(fault_rate.substr(0, slash), &num) &&
+                  parse_number(fault_rate.substr(slash + 1), &den);
+    if (!rate_ok || den == 0) {
+        std::cerr << "warning: bad --fault-rate '" << fault_rate
+                  << "' ignored (want 'num/den' or 'den')\n";
+    } else {
+        spec.fault.rate_num = num;
+        spec.fault.rate_den = den;
+    }
+    spec.online_monitor = online;
+
     if (duration_ms == 0) {
         const registry_entry* e = find_register(register_name);
-        spec.collect = e != nullptr && e->info.requires_log
+        // Fault runs always collect through the shared gamma log: the
+        // injection position and the online verifier both live there.
+        spec.collect = (e != nullptr && e->info.requires_log) ||
+                               spec.fault.active() || spec.online_monitor
                            ? collect_mode::gamma
                            : collect_mode::per_thread;
     } else {

@@ -94,6 +94,15 @@ struct common_flags {
     unsigned threads{0};  ///< explorer/worker thread count (0 = auto)
     bool list{false};     ///< print registered register names and exit
 
+    /// Substrate fault injection (faulty/ registers): the class name, the
+    /// trigger rate as "num/den" (or "den", meaning 1/den), the plan's
+    /// private seed, and the optional exact access trigger (--fault-at).
+    std::string fault{"none"};
+    std::string fault_rate{"1/64"};
+    std::uint64_t fault_seed{1};
+    std::uint64_t fault_at{0};
+    bool online{false};  ///< run the online verifier during the run
+
     void add_to(flag_parser& p);
 
     /// A scripted, per-thread-collected run of the named register. Callers

@@ -9,6 +9,7 @@
 #include <malloc.h>
 #endif
 
+#include "linearizability/monitor.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 
@@ -49,8 +50,14 @@ public:
     }
 
     /// Runs the next scripted op; false when the script is exhausted.
+    /// A port killed by a port_crash fault abandons the rest of its script
+    /// (every later operation on that port would be a no-op anyway).
     bool step() {
         if (exhausted()) return false;
+        if (port_->crashed()) {
+            cursor_ = script_->size();
+            return false;
+        }
         run_op((*script_)[cursor_++]);
         return true;
     }
@@ -108,8 +115,11 @@ private:
         }
         ++writes_;
         // A crashed write is never acknowledged: invocation without
-        // response, which the history parser records as pending.
-        if (!crashed) record(op_kind::write, /*response=*/true, 0);
+        // response, which the history parser records as pending. The same
+        // holds when a port_crash fault killed the port mid-write.
+        if (!crashed && !port_->crashed()) {
+            record(op_kind::write, /*response=*/true, 0);
+        }
     }
 
     void do_read() {
@@ -126,7 +136,8 @@ private:
             out = port_->read();
         }
         ++reads_;
-        record(op_kind::read, /*response=*/true, out);
+        // A read on a port killed mid-operation stays pending.
+        if (!port_->crashed()) record(op_kind::read, /*response=*/true, out);
     }
 
     void record(op_kind kind, bool response, value_t v) {
@@ -239,6 +250,14 @@ run_result run(const run_spec& spec) {
     if (spec.duration_ms > 0 && spec.schedule == schedule_mode::seeded) {
         return fail("the seeded schedule is scripted-only (duration_ms=0)");
     }
+    if (spec.fault.active() && entry->info.family != "faulty") {
+        return fail(entry->info.name +
+                    " has no fault plan; --fault needs a faulty/ register");
+    }
+    if (spec.online_monitor && spec.collect != collect_mode::gamma) {
+        return fail("the online monitor polls the shared gamma log; run "
+                    "with collect=gamma");
+    }
 
     const workload wl = make_workload(spec.load, spec.seed);
     if (!wl.valid()) return fail("generated workload failed validation");
@@ -253,6 +272,7 @@ run_result run(const run_spec& spec) {
     args.writers = spec.load.writers;
     args.readers = spec.load.readers;
     args.log = spec.collect == collect_mode::gamma ? &log : nullptr;
+    args.fault = spec.fault;
 
     std::string make_error;
     std::unique_ptr<any_register> reg =
@@ -280,6 +300,25 @@ run_result run(const run_spec& spec) {
     run_result result;
     result.info = entry->info;
     result.threads.resize(n_procs);
+
+    // The online watcher polls growing prefixes of the gamma log while the
+    // run appends to it. Reads-only, so even the seeded single-thread
+    // schedule stays byte-for-byte deterministic underneath it.
+    online_verifier verifier(log, spec.initial, spec.monitor_stride);
+    std::atomic<bool> run_done{false};
+    std::atomic<bool> caught_live{false};
+    std::thread watcher;
+    if (spec.online_monitor) {
+        watcher = std::thread([&] {
+            while (!run_done.load(std::memory_order_acquire)) {
+                if (verifier.poll()) {
+                    caught_live.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+        });
+    }
 
     if (spec.schedule == schedule_mode::seeded) {
         // Deterministic single-thread interleaving at op granularity. A
@@ -409,6 +448,9 @@ run_result run(const run_spec& spec) {
         result.crashes_injected = crash_total.load(std::memory_order_relaxed);
     }
 
+    run_done.store(true, std::memory_order_release);
+    if (watcher.joinable()) watcher.join();
+
     for (const thread_result& tr : result.threads) {
         result.total_reads += tr.reads;
         result.total_writes += tr.writes;
@@ -437,6 +479,35 @@ run_result run(const run_spec& spec) {
                   });
         result.events.reserve(all.size());
         for (const timed_event& te : all) result.events.push_back(te.e);
+    }
+
+    result.faults_injected = reg->faults();
+    if (spec.online_monitor) {
+        verifier.finish();  // violations that landed after the last poll
+        online_detection& od = result.online;
+        od.ran = true;
+        od.injection_pos = result.faults_injected.first_injection;
+        if (verifier.violation_found()) {
+            od.violation = true;
+            od.caught_live = caught_live.load(std::memory_order_relaxed);
+            // Shrink to the minimal violating prefix; deterministic under
+            // the seeded schedule even though the live watcher's poll
+            // timing is not.
+            const std::optional<op_id> culprit = verifier.locate_culprit();
+            od.detection_prefix = verifier.detection_prefix();
+            od.diagnosis = verifier.diagnosis();
+            if (culprit.has_value()) {
+                od.culprit_known = true;
+                od.culprit = *culprit;
+            }
+            if (od.injection_pos != no_event) {
+                for (std::size_t i = od.injection_pos;
+                     i < od.detection_prefix && i < result.events.size();
+                     ++i) {
+                    if (is_response(result.events[i].kind)) ++od.latency_ops;
+                }
+            }
+        }
     }
 
     result.ok = true;

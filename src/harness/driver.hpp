@@ -90,6 +90,16 @@ struct run_spec {
 
     /// Sample every k-th operation's latency (0 = no sampling).
     unsigned latency_sample_every{0};
+
+    /// Substrate fault injection (faulty/ registers only; the driver
+    /// rejects an active spec on any other family).
+    fault_spec fault{};
+
+    /// Run the online verifier concurrently with the run (collect must be
+    /// gamma) and fill run_result::online with what it caught.
+    bool online_monitor{false};
+    /// The verifier re-checks after every this-many new events.
+    unsigned monitor_stride{64};
 };
 
 /// Per-processor outcome.
@@ -105,6 +115,30 @@ struct thread_result {
     double p99_us{0};
     double max_us{0};
     std::uint64_t samples{0};
+};
+
+/// What the online verifier saw during a monitored run (run_spec::
+/// online_monitor). `latency_ops` is the robustness metric of
+/// bench_fault_matrix: completed operations between the first injected
+/// fault and the end of the minimal violating prefix -- how long a
+/// corrupted execution can masquerade as atomic.
+struct online_detection {
+    bool ran{false};
+    bool violation{false};
+    std::string diagnosis;
+    /// True when the watcher thread flagged the violation DURING the run
+    /// (else the post-run final check caught it).
+    bool caught_live{false};
+    /// Gamma position at the first injection (no_event: nothing injected).
+    event_pos injection_pos{no_event};
+    /// Events in the minimal violating prefix (0 when no violation).
+    std::uint64_t detection_prefix{0};
+    /// Completed ops between injection and detection; meaningful only when
+    /// a violation was found and an injection position is known.
+    std::uint64_t latency_ops{0};
+    /// The operation whose event closes the minimal violating prefix.
+    bool culprit_known{false};
+    op_id culprit{};
 };
 
 /// Whole-run outcome. When `ok` is false nothing else is meaningful except
@@ -123,6 +157,11 @@ struct run_result {
     /// Recorded external schedule (collect != none), in gamma order.
     std::vector<event> events;
     bool log_overflowed{false};
+
+    /// Substrate fault injection counters (faulty/ registers; zero
+    /// elsewhere) and the online verifier's findings.
+    fault_counts faults_injected{};
+    online_detection online{};
 };
 
 /// Runs one spec. Validates the spec against the registry entry (writer

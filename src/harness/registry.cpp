@@ -483,6 +483,158 @@ private:
     event_log* log_;
 };
 
+// ----------------------------------------------------------------- faulty/* --
+
+/// Bloom's construction over substrates wrapped in the fault injector
+/// (registers/faulty.hpp). The register's own sim-event logging stays OFF:
+/// the ports log invocations/responses themselves so that a port killed by
+/// a port_crash fault can leave its final operation PENDING (invocation
+/// without response) -- the external trace of a processor that died mid-
+/// operation, exactly what the checkers must tolerate.
+template <typename Inner>
+class faulty_any final : public any_register {
+    using reg_t = two_writer_register<value_t, faulty_register<Inner>>;
+
+public:
+    /// `make_inner(init, plan, reg_index)` builds one wrapped substrate.
+    template <typename MakeInner>
+    faulty_any(const register_args& a, MakeInner&& make_inner)
+        : plan_(a.fault, a.log),
+          log_(a.log),
+          reg_(a.initial, [&](tagged<value_t> init, int reg_index) {
+              return make_inner(init, &plan_, reg_index);
+          }) {}
+
+    [[nodiscard]] fault_counts faults() override { return plan_.counts(); }
+
+    class wport final : public any_port {
+    public:
+        wport(reg_t& r, int index, fault_plan& plan, event_log* log)
+            : w_(index == 0 ? &r.writer0() : &r.writer1()), plan_(&plan),
+              logger_(log, static_cast<processor_id>(index)),
+              proc_(static_cast<processor_id>(index)) {}
+
+        value_t read() override {
+            if (plan_->crashed(proc_)) return 0;
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = static_cast<value_t>(w_->read());
+            respond_unless_crashed(op_kind::read, out);
+            return out;
+        }
+        void write(value_t v) override {
+            if (plan_->crashed(proc_)) return;
+            logger_.invoke(op_kind::write, v);
+            w_->write(v);
+            respond_unless_crashed(op_kind::write, 0);
+        }
+        void write_paced(value_t v, const pause_fn& pause) override {
+            if (plan_->crashed(proc_)) return;
+            logger_.invoke(op_kind::write, v);
+            w_->write_paced(v, pause);
+            respond_unless_crashed(op_kind::write, 0);
+        }
+        bool write_crashed(value_t v, crash_point cp) override {
+            if (plan_->crashed(proc_)) return true;
+            logger_.invoke(op_kind::write, v);
+            w_->write_crashed(v, cp);
+            logger_.finish_op();  // crashed write: pending by design
+            return true;
+        }
+        bool read_cached(value_t& out) override {
+            if (plan_->crashed(proc_)) {
+                out = 0;
+                return true;
+            }
+            logger_.invoke(op_kind::read, 0);
+            out = static_cast<value_t>(w_->read_cached());
+            respond_unless_crashed(op_kind::read, out);
+            return true;
+        }
+        bool stall(const pause_fn& during) override {
+            if (plan_->crashed(proc_)) return true;
+            const value_t v = unique_value(proc_, 0x80000000u + stall_count_++);
+            logger_.invoke(op_kind::write, v);
+            w_->write_paced(v, during);
+            respond_unless_crashed(op_kind::write, 0);
+            return true;
+        }
+        [[nodiscard]] bool crashed() const override {
+            return plan_->crashed(proc_);
+        }
+
+    private:
+        /// A port_crash fault mid-operation kills the port: the operation
+        /// stays pending (no response event) and the op counter advances.
+        void respond_unless_crashed(op_kind kind, value_t v) {
+            if (!plan_->crashed(proc_)) logger_.respond(kind, v);
+            logger_.finish_op();
+        }
+
+        typename reg_t::writer* w_;
+        fault_plan* plan_;
+        ext_logger logger_;
+        processor_id proc_;
+        std::uint32_t stall_count_{0};
+    };
+
+    class rport final : public any_port {
+    public:
+        rport(typename reg_t::reader rd, fault_plan& plan, event_log* log,
+              processor_id proc)
+            : rd_(std::move(rd)), plan_(&plan), logger_(log, proc),
+              proc_(proc) {}
+
+        value_t read() override {
+            if (plan_->crashed(proc_)) return 0;
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = static_cast<value_t>(rd_.read());
+            respond_unless_crashed(out);
+            return out;
+        }
+        void write(value_t) override {}  // reader ports never write
+        value_t read_paced(const pause_fn& pause) override {
+            if (plan_->crashed(proc_)) return 0;
+            logger_.invoke(op_kind::read, 0);
+            const value_t out = static_cast<value_t>(rd_.read_paced(pause));
+            respond_unless_crashed(out);
+            return out;
+        }
+        bool stall(const pause_fn& during) override {
+            if (plan_->crashed(proc_)) return true;
+            (void)read_paced(during);
+            return true;
+        }
+        [[nodiscard]] bool crashed() const override {
+            return plan_->crashed(proc_);
+        }
+
+    private:
+        void respond_unless_crashed(value_t out) {
+            if (!plan_->crashed(proc_)) logger_.respond(op_kind::read, out);
+            logger_.finish_op();
+        }
+
+        typename reg_t::reader rd_;
+        fault_plan* plan_;
+        ext_logger logger_;
+        processor_id proc_;
+    };
+
+    std::unique_ptr<any_port> make_port(processor_id processor,
+                                        port_role role) override {
+        if (role == port_role::writer) {
+            return std::make_unique<wport>(reg_, processor, plan_, log_);
+        }
+        return std::make_unique<rport>(reg_.make_reader(processor), plan_,
+                                       log_, processor);
+    }
+
+private:
+    fault_plan plan_;  // before reg_: the factory lambda takes its address
+    event_log* log_;
+    reg_t reg_;
+};
+
 // --------------------------------------------------------------- registry --
 
 register_info info(std::string name, std::string description,
@@ -565,6 +717,57 @@ std::vector<registry_entry> build_registry() {
                              bloom_any<value_t, recording_register>>(
                              std::move(reg));
                      }});
+    }
+
+    r.push_back({info("faulty/seqlock",
+                      "Bloom two-writer over seqlock substrates wrapped in "
+                      "the fault injector (--fault picks the class; "
+                      "docs/FAULTS.md)",
+                      2, 2, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     return std::make_unique<
+                         faulty_any<seqlock_register<value_t>>>(
+                         a, [](tagged<value_t> init, fault_plan* plan, int) {
+                             return faulty_register<seqlock_register<value_t>>(
+                                 init, plan);
+                         });
+                 }});
+
+    r.push_back({info("faulty/fourslot",
+                      "Bloom two-writer over the fault-injected SWMR-from-"
+                      "SWSR ladder (substrate faults under the deepest stack)",
+                      2, 2, true),
+                 [](const register_args& a) -> std::unique_ptr<any_register> {
+                     const std::size_t n = a.readers;
+                     return std::make_unique<
+                         faulty_any<ported_substrate<value_t>>>(
+                         a, [n](tagged<value_t> init, fault_plan* plan,
+                                int reg_index) {
+                             return faulty_register<ported_substrate<value_t>>(
+                                 init, plan, n, reg_index);
+                         });
+                 }});
+
+    {
+        register_info i =
+            info("faulty/recording",
+                 "fault-injected recording substrate: corrupted runs keep a "
+                 "full gamma log for forensics and online detection",
+                 2, 2, true);
+        i.records_real_accesses = true;
+        i.requires_log = true;
+        r.push_back(
+            {std::move(i),
+             [](const register_args& a) -> std::unique_ptr<any_register> {
+                 event_log* log = a.log;
+                 return std::make_unique<faulty_any<recording_register>>(
+                     a, [log](tagged<value_t> init, fault_plan* plan,
+                              int reg_index) {
+                         return faulty_register<recording_register>(
+                             init, plan, log,
+                             static_cast<std::uint8_t>(reg_index));
+                     });
+             }});
     }
 
     r.push_back({info("swmr/fourslot",

@@ -24,6 +24,7 @@
 #include "core/two_writer.hpp"  // crash_point
 #include "histories/event_log.hpp"
 #include "histories/events.hpp"
+#include "registers/faulty.hpp"  // fault_spec, fault_counts
 
 namespace bloom87::harness {
 
@@ -71,6 +72,11 @@ public:
     /// between its real read and real write. Returns false if the register
     /// has nothing to stall (then nothing happened).
     virtual bool stall(const pause_fn& /*during*/) { return false; }
+
+    /// True once the port has been killed by a port_crash fault: the
+    /// operation that triggered it never responds (pending), and every
+    /// later operation is a no-op. Drivers stop stepping a crashed port.
+    [[nodiscard]] virtual bool crashed() const { return false; }
 };
 
 /// Static facts about a registered composition.
@@ -99,6 +105,10 @@ public:
     virtual ~any_register() = default;
     virtual std::unique_ptr<any_port> make_port(processor_id processor,
                                                 port_role role) = 0;
+
+    /// Injection counters of the run so far; all-zero for registers without
+    /// a fault plan (everything outside the faulty/ family).
+    [[nodiscard]] virtual fault_counts faults() { return {}; }
 };
 
 /// Everything a factory needs to build an instance.
@@ -111,6 +121,10 @@ struct register_args {
     /// invocation/response into it; the recording substrate additionally
     /// logs real-register accesses.
     event_log* log{nullptr};
+    /// Substrate fault injection; only the faulty/ family reads it (other
+    /// entries ignore an active spec -- the driver rejects that combination
+    /// up front).
+    fault_spec fault{};
 };
 
 struct registry_entry {

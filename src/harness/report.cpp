@@ -25,7 +25,7 @@ namespace {
 report_writer::report_writer(std::ostream& os, const std::string& bench)
     : os_(os), w_(os) {
     w_.begin_object();
-    w_.field("schema", "bloom87-harness-v1");
+    w_.field("schema", "bloom87-harness-v2");
     w_.field("bench", bench);
     w_.key("environment").begin_object();
     w_.field("hardware_concurrency", std::thread::hardware_concurrency());
@@ -131,6 +131,47 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
         w_.field("history_parsed", checks->parsed);
         if (!checks->parsed) w_.field("parse_error", checks->parse_error);
         w_.field("all_pass", checks->all_pass());
+    }
+
+    // v2: substrate fault injection + online detection, on fault runs and
+    // monitored runs only (other runs keep their v1 shape exactly).
+    if (spec.fault.active() || result.faults_injected.total() > 0 ||
+        result.online.ran) {
+        const fault_counts& fc = result.faults_injected;
+        w_.key("faults").begin_object();
+        w_.field("class", fault_class_name(spec.fault.cls));
+        w_.field("rate_num", spec.fault.rate_num);
+        w_.field("rate_den", spec.fault.rate_den);
+        w_.field("fault_seed", spec.fault.seed);
+        w_.field("at", spec.fault.at);
+        w_.field("stale_reads", fc.stale_reads);
+        w_.field("lost_writes", fc.lost_writes);
+        w_.field("torn_values", fc.torn_values);
+        w_.field("delayed_writes", fc.delayed_writes);
+        w_.field("port_crashes", fc.port_crashes);
+        w_.field("injected", fc.total());
+        if (fc.first_injection != no_event) {
+            w_.field("injection_pos", fc.first_injection);
+        }
+        if (result.online.ran) {
+            const online_detection& od = result.online;
+            w_.key("online").begin_object();
+            w_.field("violation", od.violation);
+            if (od.violation) {
+                w_.field("caught_live", od.caught_live);
+                w_.field("detection_prefix", od.detection_prefix);
+                w_.field("latency_ops", od.latency_ops);
+                if (od.culprit_known) {
+                    w_.field("culprit_processor",
+                             static_cast<int>(od.culprit.processor));
+                    w_.field("culprit_op",
+                             static_cast<std::uint64_t>(od.culprit.op));
+                }
+                w_.field("diagnosis", od.diagnosis);
+            }
+            w_.end_object();
+        }
+        w_.end_object();
     }
 
     if (extra) extra(w_);

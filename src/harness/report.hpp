@@ -1,10 +1,10 @@
-// bloom87: the one JSON report schema ("bloom87-harness-v1").
+// bloom87: the one JSON report schema ("bloom87-harness-v2").
 //
 // Every bench/example binary emits the same machine-readable shape so
 // cross-PR tracking tooling parses one format:
 //
 //   {
-//     "schema": "bloom87-harness-v1",
+//     "schema": "bloom87-harness-v2",
 //     "bench": "<binary name>",
 //     "environment": { "hardware_concurrency": N, "compiler": "...",
 //                      "build": "release|debug" },
@@ -18,6 +18,12 @@
 //                        p50_us, p99_us, max_us, samples } ],
 //        "checkers": [ { checker, ran, pass, skip_reason, diagnosis,
 //                        millis, operations, impotent_writes } ],
+//        "faults":   { class, rate_num, rate_den, fault_seed, at,
+//                      stale_reads, lost_writes, torn_values,
+//                      delayed_writes, port_crashes, injected,
+//                      injection_pos, online: { violation, caught_live,
+//                      detection_prefix, latency_ops, culprit_processor,
+//                      culprit_op, diagnosis } },
 //        ...bench-specific extras... } ],
 //     "tables": [ { "name": "...", "header": [...], "rows": [[...]] } ]
 //   }
@@ -25,6 +31,12 @@
 // `runs` carries harness-driven runs; `tables` carries any ASCII table a
 // bench also prints (so table-shaped benches get --json for free). Either
 // section may be empty.
+//
+// v1 -> v2: runs gained the optional `faults` block (substrate fault
+// injection counters plus the online verifier's detection record); it is
+// present only on runs with an active fault spec or a monitored run.
+// Everything else is unchanged, so v1 consumers need only accept the new
+// schema string and ignore the extra key.
 #pragma once
 
 #include <functional>

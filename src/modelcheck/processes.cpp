@@ -1389,6 +1389,254 @@ private:
     std::size_t reg_;
 };
 
+// ---------------------------------------------------------------------------
+// Faulty-substrate Bloom processes (the model-checked twin of
+// registers/faulty.hpp): the protocol machines above, but each eligible
+// real access may nondeterministically misbehave the way one fault class
+// prescribes. The explorer branches over "fault fires here" vs "access is
+// clean" at every eligible step, bounded by a per-process fault budget --
+// so a reported violation comes with a concrete schedule, and an
+// exhaustive pass covers EVERY placement of up to `max_faults` faults.
+//
+// Fault semantics mirror the thread-level adapter:
+//   stale_read          a real read returns the register's previously
+//                       committed value (registers need track_previous);
+//   lost_write          a real write is silently dropped;
+//   torn_value          the write commits the OLD value bits under the
+//                       NEW tag bit (the adapter's bit-mix, minimized);
+//   delayed_visibility  the real write lands only AFTER the op responded,
+//                       as a separate later step other processes can
+//                       interleave with;
+//   port_crash          the process halts mid-op; the op stays pending.
+// ---------------------------------------------------------------------------
+
+class faulty_bloom_writer_proc final : public script_process {
+public:
+    faulty_bloom_writer_proc(int writer_index, std::vector<mc_value> values,
+                             fault_class cls, int max_faults)
+        : script_process(static_cast<processor_id>(writer_index),
+                         std::move(values)),
+          writer_(writer_index), cls_(cls), faults_left_(max_faults) {}
+
+    [[nodiscard]] std::unique_ptr<process> clone() const override {
+        return std::make_unique<faulty_bloom_writer_proc>(*this);
+    }
+    [[nodiscard]] bool done(const sim_state&) const override {
+        return crashed_ || pos_ == script_.size();
+    }
+    [[nodiscard]] int fanout(const sim_state&) const override {
+        return fault_choice_here() ? 2 : 1;
+    }
+
+    void step(sim_state& s, int choice) override {
+        const bool fire = choice == 1 && fault_choice_here();
+        const auto reg = static_cast<std::size_t>(writer_);
+        switch (pc_) {
+            case 0:
+                open_op_ = s.begin_op(proc_, opno_, op_kind::write,
+                                      static_cast<value_t>(script_[pos_]));
+                pc_ = 1;
+                break;
+            case 1: {  // read the other writer's register
+                if (fire && cls_ == fault_class::port_crash) {
+                    crash();
+                    return;
+                }
+                mc_value other;
+                if (fire) {  // stale_read
+                    other = s.registers[1 - reg].previous;
+                    --faults_left_;
+                } else {
+                    other = s.read_atomic(1 - reg);
+                }
+                const bool t = writer_tag_choice(writer_, decode_tag(other));
+                locals_[0] = encode_tagged(script_[pos_], t);
+                pc_ = 2;
+                break;
+            }
+            case 2:  // write own register
+                if (fire) {
+                    switch (cls_) {
+                        case fault_class::port_crash: crash(); return;
+                        case fault_class::lost_write: --faults_left_; break;
+                        case fault_class::torn_value: {
+                            // Old value bits under the new tag bit: the
+                            // smallest torn mix the encoding can express,
+                            // and always within the register's domain.
+                            const auto torn = static_cast<mc_value>(
+                                (s.registers[reg].committed &
+                                 ~static_cast<mc_value>(1)) |
+                                (locals_[0] & 1));
+                            if (torn != locals_[0]) --faults_left_;
+                            s.write_atomic(reg, torn);
+                            break;
+                        }
+                        case fault_class::delayed_visibility:
+                            pending_ = locals_[0];
+                            has_pending_ = true;
+                            --faults_left_;
+                            break;
+                        default: s.write_atomic(reg, locals_[0]); break;
+                    }
+                } else {
+                    s.write_atomic(reg, locals_[0]);
+                }
+                pc_ = 3;
+                break;
+            case 3:  // respond
+                if (fire) {  // port_crash: halt without responding
+                    crash();
+                    return;
+                }
+                s.end_op(open_op_, 0);
+                if (has_pending_) {
+                    pc_ = 4;  // the delayed write lands as a later step
+                } else {
+                    advance_script();
+                }
+                break;
+            case 4:  // delayed write becomes visible after the response
+                s.write_atomic(reg, pending_);
+                has_pending_ = false;
+                advance_script();
+                break;
+        }
+    }
+
+    void fingerprint(std::vector<std::uint64_t>& out) const override {
+        base_fingerprint(out,
+                         0x1020 | (static_cast<std::uint64_t>(cls_) << 8));
+        out.push_back((static_cast<std::uint64_t>(
+                           static_cast<std::uint16_t>(faults_left_))
+                       << 32) |
+                      (static_cast<std::uint64_t>(
+                           static_cast<std::uint16_t>(pending_))
+                       << 8) |
+                      (has_pending_ ? 2ULL : 0ULL) | (crashed_ ? 1ULL : 0ULL));
+    }
+
+private:
+    [[nodiscard]] bool fault_choice_here() const {
+        if (crashed_ || faults_left_ <= 0) return false;
+        switch (cls_) {
+            case fault_class::port_crash:
+                return pc_ == 1 || pc_ == 2 || pc_ == 3;
+            case fault_class::stale_read: return pc_ == 1;
+            case fault_class::lost_write:
+            case fault_class::torn_value:
+            case fault_class::delayed_visibility: return pc_ == 2;
+            default: return false;
+        }
+    }
+
+    void crash() {
+        crashed_ = true;
+        --faults_left_;
+    }
+
+    int writer_;
+    fault_class cls_;
+    int faults_left_;
+    bool crashed_{false};
+    bool has_pending_{false};
+    mc_value pending_{0};
+};
+
+/// The standard tag reader with faulty substrate reads. Only read-side
+/// classes apply (stale_read, port_crash); for write-side classes the
+/// reader behaves exactly like tag_reader_proc.
+class faulty_tag_reader_proc final : public script_process {
+public:
+    faulty_tag_reader_proc(processor_id proc, int num_reads, fault_class cls,
+                           int max_faults)
+        : script_process(proc, std::vector<mc_value>(
+                                   static_cast<std::size_t>(num_reads), 0)),
+          cls_(cls), faults_left_(max_faults) {}
+
+    [[nodiscard]] std::unique_ptr<process> clone() const override {
+        return std::make_unique<faulty_tag_reader_proc>(*this);
+    }
+    [[nodiscard]] bool done(const sim_state&) const override {
+        return crashed_ || pos_ == script_.size();
+    }
+    [[nodiscard]] int fanout(const sim_state&) const override {
+        return fault_choice_here() ? 2 : 1;
+    }
+
+    void step(sim_state& s, int choice) override {
+        const bool fire = choice == 1 && fault_choice_here();
+        if (fire && cls_ == fault_class::port_crash) {
+            crash();
+            return;
+        }
+        switch (pc_) {
+            case 0:
+                open_op_ = s.begin_op(proc_, opno_, op_kind::read, 0);
+                pc_ = 1;
+                break;
+            case 1:
+                locals_[0] = faulty_read(s, 0, fire);
+                pc_ = 2;
+                break;
+            case 2:
+                locals_[1] = faulty_read(s, 1, fire);
+                pc_ = 3;
+                break;
+            case 3: {
+                const int pick =
+                    reader_pick(decode_tag(locals_[0]), decode_tag(locals_[1]));
+                locals_[2] =
+                    faulty_read(s, static_cast<std::size_t>(pick), fire);
+                pc_ = 4;
+                break;
+            }
+            case 4:
+                s.end_op(open_op_,
+                         static_cast<value_t>(decode_value(locals_[2])));
+                advance_script();
+                break;
+        }
+    }
+
+    void fingerprint(std::vector<std::uint64_t>& out) const override {
+        base_fingerprint(out,
+                         0x1021 | (static_cast<std::uint64_t>(cls_) << 8));
+        out.push_back((static_cast<std::uint64_t>(
+                           static_cast<std::uint16_t>(faults_left_))
+                       << 8) |
+                      (crashed_ ? 1ULL : 0ULL));
+    }
+
+private:
+    [[nodiscard]] bool fault_choice_here() const {
+        if (crashed_ || faults_left_ <= 0) return false;
+        switch (cls_) {
+            case fault_class::port_crash:
+                return pc_ >= 1 && pc_ <= 4;
+            case fault_class::stale_read: return pc_ >= 1 && pc_ <= 3;
+            default: return false;
+        }
+    }
+
+    [[nodiscard]] mc_value faulty_read(sim_state& s, std::size_t reg,
+                                       bool fire) {
+        if (fire) {  // stale_read
+            --faults_left_;
+            return s.registers[reg].previous;
+        }
+        return s.read_atomic(reg);
+    }
+
+    void crash() {
+        crashed_ = true;
+        --faults_left_;
+    }
+
+    fault_class cls_;
+    int faults_left_;
+    bool crashed_{false};
+};
+
 }  // namespace
 
 std::unique_ptr<process> make_bloom_writer(int writer_index,
@@ -1418,6 +1666,19 @@ std::unique_ptr<process> make_bloom_reader_no_reread(processor_id proc,
                                                      int num_reads) {
     return std::make_unique<tag_reader_proc>(
         proc, num_reads, tag_reader_proc::variant::no_reread);
+}
+std::unique_ptr<process> make_faulty_bloom_writer(int writer_index,
+                                                  std::vector<mc_value> values,
+                                                  fault_class cls,
+                                                  int max_faults) {
+    return std::make_unique<faulty_bloom_writer_proc>(
+        writer_index, std::move(values), cls, max_faults);
+}
+std::unique_ptr<process> make_faulty_bloom_reader(processor_id proc,
+                                                  int num_reads, fault_class cls,
+                                                  int max_faults) {
+    return std::make_unique<faulty_tag_reader_proc>(proc, num_reads, cls,
+                                                    max_faults);
 }
 std::unique_ptr<process> make_tournament_writer(int writer_id,
                                                 std::vector<mc_value> values) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "modelcheck/sim.hpp"
+#include "registers/faulty.hpp"  // fault_class
 
 namespace bloom87::mc {
 
@@ -62,6 +63,21 @@ namespace bloom87::mc {
 [[nodiscard]] std::unique_ptr<process> make_bloom_writer_crashing(
     int writer_index, std::vector<mc_value> values_to_write,
     std::size_t crash_op, int crash_stage);
+
+/// --- Faulty-substrate Bloom processes (fault model of registers/faulty.hpp)
+/// The same machines over base registers whose accesses may misbehave:
+/// the explorer branches over "this access faults" vs "this access is
+/// clean" at every eligible step, bounded by `max_faults` faults per
+/// process. Value-corrupting classes (stale_read, lost_write, torn_value,
+/// delayed_visibility) should exhibit a reachable atomicity violation;
+/// port_crash (halt mid-op, op left pending) should not -- the explorer
+/// proves both, schedule-exhaustively. stale_read needs the base
+/// registers constructed with track_previous = true.
+[[nodiscard]] std::unique_ptr<process> make_faulty_bloom_writer(
+    int writer_index, std::vector<mc_value> values_to_write, fault_class cls,
+    int max_faults);
+[[nodiscard]] std::unique_ptr<process> make_faulty_bloom_reader(
+    processor_id proc, int num_reads, fault_class cls, int max_faults);
 
 /// Deliberately BROKEN writer applying the other writer's tag rule
 /// (t := (1-i) (+) t'). Exists to prove the explorer catches tag-protocol

@@ -33,6 +33,7 @@ void sim_state::write_atomic(std::size_t reg, mc_value v) {
     mc_register& r = registers[reg];
     assert(r.level == reg_level::atomic);
     assert(v >= 0 && v < r.domain);
+    if (r.track_previous) r.previous = r.committed;
     r.committed = v;
 }
 
@@ -124,6 +125,13 @@ void sim_state::fingerprint(std::vector<std::uint64_t>& out) const {
                            r.active_write))
                        << 8) |
                       static_cast<std::uint64_t>(r.level));
+        // Only fault-model explorations pay for the extra word; fingerprints
+        // (and so pinned state counts) of everything else are unchanged.
+        if (r.track_previous) {
+            out.push_back(0xFA417000ULL |
+                          static_cast<std::uint64_t>(
+                              static_cast<std::uint16_t>(r.previous)));
+        }
         out.push_back(r.active_reads.size());
         for (const auto& [p, mask] : r.active_reads) {
             out.push_back((static_cast<std::uint64_t>(static_cast<std::uint16_t>(p))

@@ -49,6 +49,13 @@ struct mc_register {
     mc_value committed{0};
     mc_value active_write{-1};  ///< value being written, -1 when no write active
 
+    /// Opt-in (fault modeling): remember the previously committed value so
+    /// faulty processes can serve STALE reads from it. Off by default --
+    /// when on, `previous` joins the fingerprint, so state counts of
+    /// fault-free explorations stay exactly what the tests pin.
+    bool track_previous{false};
+    mc_value previous{0};
+
     /// Reads in progress: (processor, candidate bitmask). domain <= 64.
     std::vector<std::pair<std::int16_t, std::uint64_t>> active_reads;
 };

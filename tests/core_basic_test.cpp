@@ -185,6 +185,58 @@ TEST(Crash, AfterRealWriteIsFullyVisible) {
     EXPECT_EQ(r.read(), 43);
 }
 
+// Each crash point's substrate footprint matches its visibility claim:
+// before_read touches neither real register, after_read performs only the
+// real read (so the written value can never become visible), after_write
+// completes both real accesses (so the write is fully visible).
+TEST(Crash, CrashPointFootprintsMatchVisibilityClaims) {
+    counted_reg reg(0);
+    auto r = reg.make_reader();
+
+    reg.real_register(0).reset_counts();
+    reg.real_register(1).reset_counts();
+    reg.writer0().write_crashed(10, crash_point::before_read);
+    EXPECT_EQ(total(reg).reads, 0u);
+    EXPECT_EQ(total(reg).writes, 0u);
+    EXPECT_EQ(r.read(), 0);
+
+    reg.real_register(0).reset_counts();
+    reg.real_register(1).reset_counts();
+    reg.writer0().write_crashed(20, crash_point::after_read);
+    EXPECT_EQ(reg.real_register(1).counts().reads, 1u);  // the other register
+    EXPECT_EQ(total(reg).writes, 0u);
+    EXPECT_EQ(r.read(), 0);
+
+    reg.real_register(0).reset_counts();
+    reg.real_register(1).reset_counts();
+    reg.writer0().write_crashed(30, crash_point::after_write);
+    EXPECT_EQ(reg.real_register(1).counts().reads, 1u);
+    EXPECT_EQ(reg.real_register(0).counts().writes, 1u);
+    EXPECT_EQ(r.read(), 30);
+}
+
+// An out-of-range crash_point (memory corruption, a miscast integer) is a
+// programming error: rejected by the assert in debug builds, and treated as
+// the most conservative crash (before_read -- nothing visible) when
+// assertions are compiled out.
+TEST(Crash, OutOfRangeCrashPointIsRejectedOrConservative) {
+    const auto bogus = static_cast<crash_point>(7);
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+    packed_reg reg(0);
+    EXPECT_DEATH(reg.writer0().write_crashed(99, bogus), "crash_point");
+#else
+    counted_reg reg(0);
+    auto r = reg.make_reader();
+    reg.writer0().write(1);
+    reg.real_register(0).reset_counts();
+    reg.real_register(1).reset_counts();
+    reg.writer0().write_crashed(99, bogus);
+    EXPECT_EQ(total(reg).reads, 0u);
+    EXPECT_EQ(total(reg).writes, 0u);
+    EXPECT_EQ(r.read(), 1);
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // Recording integration: the external schedule and the real accesses land
 // in gamma in the right shape.

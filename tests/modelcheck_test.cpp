@@ -164,6 +164,60 @@ INSTANTIATE_TEST_SUITE_P(
 // The four-writer tournament (paper, Section 8).
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Faulty substrate (registers/faulty.hpp, modeled): every value-corrupting
+// class has a reachable violating schedule; port_crash does not.
+// ---------------------------------------------------------------------------
+
+/// Bloom system over a faulty substrate: both writers and the reader may
+/// fault per `cls`, at most once each; registers track the previous commit
+/// so modeled stale reads have a value to serve.
+sim_state faulty_bloom_system(fault_class cls) {
+    sim_state s;
+    const auto domain = static_cast<mc_value>((2 * 1 + 1) * 2);
+    for (int i = 0; i < 2; ++i) {
+        mc_register r = atomic_reg(domain, encode_tagged(0, false));
+        r.track_previous = true;
+        s.registers.push_back(r);
+    }
+    s.procs.push_back(make_faulty_bloom_writer(0, {1}, cls, 1));
+    s.procs.push_back(make_faulty_bloom_writer(1, {2}, cls, 1));
+    s.procs.push_back(make_faulty_bloom_reader(2, 1, cls, 1));
+    return s;
+}
+
+class CorruptingFaults : public ::testing::TestWithParam<fault_class> {};
+
+TEST_P(CorruptingFaults, HaveAReachableViolatingSchedule) {
+    sim_state s = faulty_bloom_system(GetParam());
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_FALSE(res.property_holds)
+        << fault_class_name(GetParam())
+        << ": no schedule violated atomicity, but this class corrupts values";
+    ASSERT_TRUE(res.first_violation.has_value());
+    EXPECT_FALSE(res.first_violation->hist.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllValueCorruptingClasses, CorruptingFaults,
+    ::testing::Values(fault_class::stale_read, fault_class::lost_write,
+                      fault_class::torn_value,
+                      fault_class::delayed_visibility),
+    [](const auto& info) { return fault_class_name(info.param); });
+
+TEST(FaultyModel, PortCrashesPreserveAtomicityOnEverySchedule) {
+    sim_state s = faulty_bloom_system(fault_class::port_crash);
+    explore_config cfg;
+    const explore_result res = explore(s, cfg);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_TRUE(res.property_holds)
+        << res.first_violation->diagnosis << "\n"
+        << format_operations(res.first_violation->hist);
+    EXPECT_GT(res.leaves, 0u);
+}
+
 TEST(TournamentModel, ViolationFoundWithThreeWriters) {
     // The Figure 5 schedule needs Wr00, Wr01 (pair 0) and Wr11 (pair 1),
     // plus a reader taking two reads. The explorer must find a
