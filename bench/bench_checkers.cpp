@@ -78,7 +78,8 @@ int main(int argc, char** argv) {
             return 1;
         }
 
-        const pipeline_result checks = run_checkers(res.events, 0, kinds);
+        const pipeline_result checks =
+            run_checkers(res.events, 0, kinds, spec.register_name);
         std::string cells[3] = {"-", "-", "-"};
         bool agree = checks.parsed;
         for (const check_verdict& v : checks.verdicts) {

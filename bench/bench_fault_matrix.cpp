@@ -107,7 +107,7 @@ cell_outcome run_cell(const std::string& reg, const scenario& sc,
             return out;
         }
         out.checks = harness::run_checkers(out.result.events, spec.initial,
-                                           kinds);
+                                           kinds, spec.register_name);
         const bool clean =
             out.checks.all_pass() && !out.result.online.violation;
         if (!sc.expects_detection()) {

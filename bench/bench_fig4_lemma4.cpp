@@ -132,7 +132,8 @@ table deterministic_replay() {
             return false;
         }
         const harness::pipeline_result checks = harness::run_checkers(
-            res.events, spec.initial, {harness::checker_kind::bloom});
+            res.events, spec.initial, {harness::checker_kind::bloom},
+            spec.register_name);
         if (!checks.parsed) {
             std::cout << "RECORDING DEFECT: " << checks.parse_error << "\n";
             return false;
@@ -166,7 +167,7 @@ int main(int argc, char** argv) {
         "bench_fig4_lemma4",
         "Lemma 4 timing: reads of impotent writes stay contained");
     std::string json_path;
-    parser.add_string("json", "write a bloom87-harness-v2 report here",
+    parser.add_string("json", "write a bloom87-harness-v3 report here",
                       &json_path);
     if (!parser.parse(argc, argv)) return 64;
     if (parser.help_requested()) return 0;

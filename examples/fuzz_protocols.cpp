@@ -92,8 +92,8 @@ bool run_round(const registry_entry& e, const run_spec& spec,
                      static_cast<unsigned long long>(spec.seed));
         return false;
     }
-    const pipeline_result checks =
-        run_checkers(res.events, spec.initial, checkers_for(spec));
+    const pipeline_result checks = run_checkers(
+        res.events, spec.initial, checkers_for(spec), spec.register_name);
     if (!checks.parsed) {
         std::fprintf(stderr, "%s seed %llu: MALFORMED GAMMA: %s\n",
                      e.info.name.c_str(),
@@ -163,7 +163,8 @@ int fuzz_faulty(fault_class cls, std::uint64_t rounds,
             }
             const pipeline_result checks = run_checkers(
                 res.events, spec.initial,
-                {checker_kind::fast, checker_kind::monitor});
+                {checker_kind::fast, checker_kind::monitor},
+                spec.register_name);
             if (!checks.parsed) {
                 std::fprintf(stderr, "%s seed %llu: MALFORMED GAMMA: %s\n",
                              comp.c_str(),

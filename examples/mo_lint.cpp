@@ -1,0 +1,51 @@
+// mo_lint: memory-order contract lint over the register headers.
+//
+// Scans every audited header under src/registers/ for atomic call sites
+// and checks each against the declared contract table
+// (src/analysis/contracts.cpp): undeclared sites, weakened or otherwise
+// undeclared memory orders, implicit seq_cst, and stale contract rows all
+// fail. CI runs this on every push; docs/ANALYSIS.md describes the table.
+//
+//   ./build/examples/mo_lint                       # lints src/registers
+//   ./build/examples/mo_lint --dir path/to/registers
+#include <cstdio>
+#include <string>
+
+#include "analysis/mo_lint.hpp"
+
+int main(int argc, char** argv) {
+    std::string dir = "src/registers";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--dir <registers dir>]\n", argv[0]);
+            std::printf(
+                "lints atomic call sites against the declared memory-order "
+                "contracts\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            return 64;
+        }
+    }
+
+    const auto findings = bloom87::analysis::lint_directory(dir);
+    std::size_t files = 0;
+    for (const auto& fc : bloom87::analysis::register_contracts()) {
+        (void)fc;
+        ++files;
+    }
+    if (findings.empty()) {
+        std::printf("mo_lint: %zu headers clean against their declared "
+                    "memory-order contracts\n",
+                    files);
+        return 0;
+    }
+    std::fputs(bloom87::analysis::format_findings(findings).c_str(), stderr);
+    std::fprintf(stderr, "mo_lint: %zu finding(s) across %zu audited "
+                         "header(s)\n",
+                 findings.size(), files);
+    return 1;
+}

@@ -8,6 +8,7 @@
 //   model_explorer [--threads N] fourslot   safe|regular|atomic [writes] [reads]
 //   model_explorer [--threads N] unary      [k] [reads]
 //   model_explorer [--threads N] faulty     <fault_class> [writes] [reads] [max_faults]
+//   model_explorer [--threads N] race       packed|plain|seqlock|seqlock-weak|fourslot [args]
 //
 // --threads selects the worker count of the parallel explorer (default:
 // hardware_concurrency; 1 = the deterministic sequential order). Defaults
@@ -17,6 +18,8 @@
 //   ./model_explorer --threads 8 bloom 2 2 1
 //   ./model_explorer faulty stale_read  # concrete violating schedule
 //   ./model_explorer faulty port_crash  # exhaustive pass: crashes tolerated
+//   ./model_explorer race packed 1 1 1  # certify race-free within the bound
+//   ./model_explorer race plain 1 1 1   # minimal racy schedule (exit 2)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -214,8 +217,110 @@ int main(int argc, char** argv) {
         return rc1;
     }
 
+    if (mode == "race") {
+        // Happens-before race certification (docs/ANALYSIS.md): the detector
+        // rides inside the explorer, so EVERY schedule within the bound is
+        // certified race-free (exit 0) or the first racy schedule is printed
+        // (exit 2). Sync classes follow each substrate's declared contract
+        // (src/analysis/contracts.cpp).
+        const std::string sub = argc > 2 ? argv[2] : "packed";
+        sim_state s;
+        if (sub == "packed" || sub == "plain") {
+            const int writes = arg_or(argc, argv, 3, 1);
+            const int readers = arg_or(argc, argv, 4, 1);
+            const int reads = arg_or(argc, argv, 5, 1);
+            const auto cls = sub == "packed" ? analysis::sync_class::sync
+                                             : analysis::sync_class::plain;
+            std::printf("Race check: Bloom two-writer over %s base registers, "
+                        "%d write(s)/writer, %d reader(s) x %d read(s)\n",
+                        sub == "packed" ? "seq_cst (packed-word)" : "PLAIN",
+                        writes, readers, reads);
+            std::printf("expected: %s\n\n",
+                        sub == "packed"
+                            ? "PROPERTY HOLDS (every access synchronized)"
+                            : "VIOLATION FOUND (unsynchronized accesses race)");
+            const auto domain = static_cast<mc_value>((2 * writes + 1) * 2);
+            for (int i = 0; i < 2; ++i) {
+                mc_register r = make_reg(reg_level::atomic, domain, 0);
+                r.sync = cls;
+                s.registers.push_back(r);
+            }
+            std::vector<mc_value> s0, s1;
+            for (int i = 1; i <= writes; ++i) {
+                s0.push_back(static_cast<mc_value>(i));
+                s1.push_back(static_cast<mc_value>(writes + i));
+            }
+            s.procs.push_back(make_bloom_writer(0, s0));
+            s.procs.push_back(make_bloom_writer(1, s1));
+            for (int r = 0; r < readers; ++r) {
+                s.procs.push_back(
+                    make_bloom_reader(static_cast<processor_id>(2 + r), reads));
+            }
+        } else if (sub == "seqlock" || sub == "seqlock-weak") {
+            const int writes = arg_or(argc, argv, 3, 1);
+            const int reads = arg_or(argc, argv, 4, 1);
+            const bool weak = sub == "seqlock-weak";
+            std::printf("Race check: seqlock SWMR register, %s payload, "
+                        "%d write(s), 1 reader x %d read(s)\n",
+                        weak ? "PLAIN (torn-window experiment)"
+                             : "relaxed-atomic (as shipped)",
+                        writes, reads);
+            std::printf("expected: %s\n\n",
+                        weak ? "VIOLATION FOUND (reader's speculative payload "
+                               "read races the writer)"
+                             : "PROPERTY HOLDS (payload words are atomic)");
+            mc_register seq = make_reg(
+                reg_level::atomic, static_cast<mc_value>(2 * writes + 1), 0);
+            seq.sync = analysis::sync_class::sync;
+            mc_register payload = make_reg(
+                reg_level::atomic, static_cast<mc_value>(writes + 1), 0);
+            payload.sync = weak ? analysis::sync_class::plain
+                                : analysis::sync_class::relaxed;
+            s.registers = {seq, payload};
+            std::vector<mc_value> script;
+            for (int i = 1; i <= writes; ++i) {
+                script.push_back(static_cast<mc_value>(i));
+            }
+            s.procs.push_back(make_seqlock_writer(0, script));
+            s.procs.push_back(make_seqlock_reader(0, 1, reads));
+        } else if (sub == "fourslot") {
+            const int writes = arg_or(argc, argv, 3, 1);
+            const int reads = arg_or(argc, argv, 4, 1);
+            std::printf("Race check: Simpson four-slot, PLAIN data slots, "
+                        "seq_cst control bits, %d write(s), %d read(s)\n",
+                        writes, reads);
+            std::printf("expected: PROPERTY HOLDS (the control-bit handshake "
+                        "orders every slot access)\n\n");
+            for (int i = 0; i < 4; ++i) {
+                mc_register r = make_reg(reg_level::atomic,
+                                         static_cast<mc_value>(writes + 1), 0);
+                r.sync = analysis::sync_class::plain;
+                s.registers.push_back(r);
+            }
+            for (int i = 0; i < 4; ++i) {
+                mc_register r = make_reg(reg_level::atomic, 2, 0);
+                r.sync = analysis::sync_class::sync;
+                s.registers.push_back(r);
+            }
+            std::vector<mc_value> script;
+            for (int i = 1; i <= writes; ++i) {
+                script.push_back(static_cast<mc_value>(i));
+            }
+            s.procs.push_back(make_fourslot_writer(0, script));
+            s.procs.push_back(make_fourslot_reader(0, 1, reads));
+        } else {
+            std::fprintf(stderr,
+                         "unknown race substrate '%s' (want packed, plain, "
+                         "seqlock, seqlock-weak, or fourslot)\n",
+                         sub.c_str());
+            return 64;
+        }
+        s.enable_race_detection();
+        return report(explore(s, cfg));
+    }
+
     std::fprintf(stderr,
-                 "usage: %s bloom|faulty|tournament|fourslot|unary [args...]\n",
+                 "usage: %s bloom|faulty|tournament|fourslot|unary|race [args...]\n",
                  argv[0]);
     return 64;
 }

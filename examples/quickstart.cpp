@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     }
 
     const pipeline_result checks =
-        run_checkers(result.events, spec.initial, *kinds);
+        run_checkers(result.events, spec.initial, *kinds, spec.register_name);
     if (!checks.parsed) {
         std::cerr << "recorded history failed to parse: " << checks.parse_error
                   << "\n";
@@ -94,8 +94,9 @@ int main(int argc, char** argv) {
             std::printf("  %-10s skipped: %s\n", checker_name(v.kind).c_str(),
                         v.skip_reason.c_str());
         } else if (v.pass) {
-            std::printf("  %-10s ATOMIC (%.2f ms)\n",
-                        checker_name(v.kind).c_str(), v.millis);
+            std::printf("  %-10s %s (%.2f ms)\n", checker_name(v.kind).c_str(),
+                        v.kind == checker_kind::race ? "RACE-FREE" : "ATOMIC",
+                        v.millis);
         } else {
             std::printf("  %-10s VIOLATION (%.2f ms): %s\n",
                         checker_name(v.kind).c_str(), v.millis,

@@ -1,0 +1,139 @@
+#include "analysis/contracts.hpp"
+
+namespace bloom87::analysis {
+namespace {
+
+// ----------------------------------------------------- per-file contracts --
+//
+// One row per (receiver, operation) pair; `orders` lists every order the
+// contract allows at such sites. The lint also fails on rows that match NO
+// call site, so the table cannot silently rot when a header changes.
+
+constexpr site_contract packed_atomic_sites[] = {
+    // The packed word IS the register: both operations are the
+    // linearization point and must stay seq_cst.
+    {"word_", "load", "seq_cst"},
+    {"word_", "store", "seq_cst"},
+};
+
+constexpr site_contract seqlock_sites[] = {
+    // Readers enter with an acquire load and re-check relaxed behind an
+    // acquire fence; the writer's odd/even bumps are relaxed+release
+    // around the fence-published payload.
+    {"seq_", "load", "acquire,relaxed"},
+    {"seq_", "store", "relaxed,release"},
+    {"words_", "load", "relaxed"},
+    {"words_", "store", "relaxed"},
+    {"retries_", "fetch_add", "relaxed"},
+    {"retries_", "load", "relaxed"},
+    {"", "fence", "acquire,release"},
+};
+
+constexpr site_contract fourslot_sites[] = {
+    // Control bits carry the reader/writer handshake: seq_cst only. The
+    // data slots are relaxed words published by the release fence in
+    // store_slot (receiver `slots` inside the static helpers).
+    {"reading_", "load", "seq_cst"},
+    {"reading_", "store", "seq_cst"},
+    {"slot_", "load", "seq_cst"},
+    {"slot_", "store", "seq_cst"},
+    {"latest_", "load", "seq_cst"},
+    {"latest_", "store", "seq_cst"},
+    {"slots", "load", "relaxed"},
+    {"slots", "store", "relaxed"},
+    {"", "fence", "acquire,release"},
+};
+
+constexpr site_contract recording_sites[] = {
+    // The spinlock serializing every access: classic acquire/release.
+    {"locked_", "exchange", "acquire"},
+    {"locked_", "store", "release"},
+};
+
+constexpr site_contract faulty_sites[] = {
+    // The fault plan's own spinlock plus the sticky crash flags (set with
+    // release so a crashed port's last write is visible to observers).
+    {"locked_", "exchange", "acquire"},
+    {"locked_", "store", "release"},
+    {"crashed_", "load", "acquire"},
+    {"crashed_", "store", "relaxed,release"},
+};
+
+constexpr site_contract instrumented_sites[] = {
+    // Pure statistics counters; never used for synchronization.
+    {"reads_", "fetch_add", "relaxed"},
+    {"reads_", "load", "relaxed"},
+    {"reads_", "store", "relaxed"},
+    {"writes_", "fetch_add", "relaxed"},
+    {"writes_", "load", "relaxed"},
+    {"writes_", "store", "relaxed"},
+};
+
+constexpr file_contract contracts[] = {
+    {"packed_atomic.hpp", packed_atomic_sites},
+    {"seqlock.hpp", seqlock_sites},
+    {"fourslot.hpp", fourslot_sites},
+    {"recording.hpp", recording_sites},
+    {"faulty.hpp", faulty_sites},
+    {"instrumented.hpp", instrumented_sites},
+    // plain.hpp is audited as having NO atomic call sites: it is the
+    // intentionally unsynchronized register the race checker must flag.
+    {"plain.hpp", {}},
+};
+
+struct registry_class {
+    std::string_view name;
+    sync_class cls;
+};
+
+// Real-access synchronization class per harness registry composition.
+// Everything production-grade synchronizes its real accesses; bloom/plain
+// is the declared-unsynchronized fixture.
+constexpr registry_class registry_classes[] = {
+    {"bloom/packed", sync_class::sync},
+    {"bloom/seqlock", sync_class::sync},
+    {"bloom/fourslot", sync_class::sync},
+    {"bloom/recording", sync_class::sync},
+    {"bloom/plain", sync_class::plain},
+    {"faulty/seqlock", sync_class::sync},
+    {"faulty/fourslot", sync_class::sync},
+    {"faulty/recording", sync_class::sync},
+    {"swmr/fourslot", sync_class::sync},
+    {"va/seqlock", sync_class::sync},
+    {"tournament/native", sync_class::sync},
+    {"baseline/mutex", sync_class::sync},
+    {"baseline/rwlock", sync_class::sync},
+    {"baseline/native", sync_class::sync},
+};
+
+}  // namespace
+
+const char* sync_class_name(sync_class c) noexcept {
+    switch (c) {
+        case sync_class::plain: return "plain";
+        case sync_class::relaxed: return "relaxed";
+        case sync_class::sync: return "sync";
+    }
+    return "?";
+}
+
+std::span<const file_contract> register_contracts() noexcept {
+    return contracts;
+}
+
+const file_contract* find_file_contract(std::string_view file) noexcept {
+    for (const file_contract& fc : contracts) {
+        if (fc.file == file) return &fc;
+    }
+    return nullptr;
+}
+
+std::optional<sync_class> registry_sync_class(
+    std::string_view register_name) noexcept {
+    for (const registry_class& rc : registry_classes) {
+        if (rc.name == register_name) return rc.cls;
+    }
+    return std::nullopt;
+}
+
+}  // namespace bloom87::analysis

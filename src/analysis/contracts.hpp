@@ -1,0 +1,69 @@
+// bloom87: declared memory-order contracts of the register substrates.
+//
+// Every substrate register picks its std::memory_order arguments by hand,
+// and Bloom's atomicity proof (Section 7) silently assumes those choices
+// add up to "the base registers are atomic". This table is the
+// machine-checked statement of that intent. Two consumers:
+//
+//  * the memory-order lint (analysis/mo_lint.hpp, examples/mo_lint.cpp)
+//    scans each register header's atomic call sites against the per-file
+//    site table below and fails CI on undeclared sites, orders outside the
+//    declared set, or stale table rows;
+//  * the happens-before race detector (analysis/race_detector.hpp) maps a
+//    harness registry composition to the synchronization class of the real
+//    accesses it performs: does an access publish/acquire ordering (sync),
+//    is it atomic but non-synchronizing (relaxed), or is it not atomic at
+//    all (plain -- a data race whenever concurrent and conflicting)?
+//
+// docs/ANALYSIS.md documents the table format and how the two analyses
+// consume it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace bloom87::analysis {
+
+/// How one shared-memory access relates to C++ happens-before.
+enum class sync_class : std::uint8_t {
+    plain,    ///< non-atomic: concurrent conflicting accesses are a data race
+    relaxed,  ///< atomic but non-synchronizing (no happens-before edge)
+    sync,     ///< release store / acquire load / seq_cst: creates HB edges
+};
+
+[[nodiscard]] const char* sync_class_name(sync_class c) noexcept;
+
+/// One declared atomic call site: the receiving object exactly as written
+/// in the source (after stripping a subscript), the operation, and the set
+/// of memory_order_* suffixes the contract permits there.
+struct site_contract {
+    std::string_view object;  ///< receiver text; "" for atomic_thread_fence
+    std::string_view op;      ///< load, store, exchange, fetch_add, fence
+    std::string_view orders;  ///< comma-separated, e.g. "acquire,relaxed"
+};
+
+/// All declared sites of one register header. A file listed with zero
+/// sites declares "no atomic call sites at all" (plain.hpp): any atomic
+/// access the lint finds there is a contract violation.
+struct file_contract {
+    std::string_view file;  ///< header name under src/registers/
+    std::span<const site_contract> sites;
+};
+
+/// The audited register headers, one entry per file.
+[[nodiscard]] std::span<const file_contract> register_contracts() noexcept;
+
+/// Looks up one file's contract; nullptr when the file is not audited.
+[[nodiscard]] const file_contract* find_file_contract(
+    std::string_view file) noexcept;
+
+/// Synchronization class of the REAL register accesses a harness registry
+/// composition performs, by registry name ("bloom/seqlock"). nullopt when
+/// the composition has no declared contract (the race checker then skips
+/// with an explicit reason).
+[[nodiscard]] std::optional<sync_class> registry_sync_class(
+    std::string_view register_name) noexcept;
+
+}  // namespace bloom87::analysis

@@ -1,0 +1,55 @@
+// bloom87: memory-order contract lint over the register headers.
+//
+// A text-level scanner (no compiler needed, so it runs as a CI step and a
+// unit test in milliseconds): finds every atomic call site -- .load(),
+// .store(), .exchange(), .fetch_add(), .fetch_sub(), compare_exchange_*(),
+// std::atomic_thread_fence() -- extracts the receiving object and the
+// memory_order_* arguments, and checks the site against the declared
+// contract table (analysis/contracts.hpp). Findings:
+//
+//  * undeclared site: an atomic call on a (receiver, op) pair the file's
+//    contract does not list;
+//  * order violation: a memory order outside the declared allowed set,
+//    flagged as WEAKENED when it is strictly weaker than everything the
+//    contract permits (the dangerous direction);
+//  * implicit order: a call relying on the defaulted seq_cst is treated as
+//    seq_cst and must be allowed by the contract like any explicit order;
+//  * stale contract row: a declared site matching no call in the file
+//    (keeps the table honest when headers change);
+//  * unaudited file / unreadable file, for the directory walker.
+//
+// examples/mo_lint.cpp wraps this in a CLI that exits nonzero on any
+// finding; tests feed synthetic weakened headers through lint_source.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/contracts.hpp"
+
+namespace bloom87::analysis {
+
+struct lint_finding {
+    std::string file;
+    std::size_t line{0};      ///< 1-based source line, 0 for file-level findings
+    std::string object;       ///< receiver text ("" for fences / file-level)
+    std::string op;
+    std::string order;        ///< the offending order, when applicable
+    std::string message;
+};
+
+/// Lints one header's text against its declared file contract. `file` is
+/// the bare header name ("seqlock.hpp"); text in `content`.
+[[nodiscard]] std::vector<lint_finding> lint_source(std::string_view file,
+                                                    std::string_view content);
+
+/// Lints every audited header under `dir` (reads "<dir>/<file>"); a
+/// missing or unreadable header is itself a finding.
+[[nodiscard]] std::vector<lint_finding> lint_directory(const std::string& dir);
+
+/// One line per finding, "file:line: message" shaped.
+[[nodiscard]] std::string format_findings(
+    const std::vector<lint_finding>& findings);
+
+}  // namespace bloom87::analysis

@@ -1,0 +1,28 @@
+// bloom87: access-observer hook for instrumented registers.
+//
+// registers/instrumented.hpp already counts every real read and write; an
+// access_observer lets it STREAM those accesses to an analysis (the
+// happens-before race detector) without the wrapper knowing anything about
+// vector clocks. Kept dependency-free so the header-only registers library
+// can include it without pulling in the analysis implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace bloom87::analysis {
+
+/// Receives every real register access from an instrumented source, in the
+/// order the source observed them. `thread` is the accessing processor,
+/// `location` identifies the register.
+class access_observer {
+public:
+    access_observer() = default;
+    access_observer(const access_observer&) = default;
+    access_observer& operator=(const access_observer&) = default;
+    virtual ~access_observer() = default;
+
+    virtual void on_real_access(std::int16_t thread, std::uint32_t location,
+                                bool is_write) = 0;
+};
+
+}  // namespace bloom87::analysis

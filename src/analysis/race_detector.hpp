@@ -1,0 +1,126 @@
+// bloom87: FastTrack-style vector-clock happens-before race detector.
+//
+// Consumes a stream of shared-memory accesses -- (thread, location,
+// read/write, sync_class) -- and reports the first pair of CONFLICTING,
+// HB-UNORDERED, PLAIN accesses: a data race in the C++ memory-model sense.
+// The rules (Flanagan & Freund's FastTrack, specialized to registers):
+//
+//  * every thread t carries a vector clock C_t, initialized to C_t[t] = 1;
+//  * a SYNC write to location x publishes: L_x := C_t, then C_t[t]++
+//    (release store; later stores overwrite L_x, modeling that an acquire
+//    load synchronizes only with the store it reads from -- and both the
+//    harness gamma log and the model checker's registers always serve the
+//    LAST committed store);
+//  * a SYNC read of x joins: C_t := C_t JOIN L_x (acquire load);
+//  * a RELAXED access is atomic but creates no edge: nothing happens;
+//  * a PLAIN write to x first checks that every recorded read and write of
+//    x by another thread u is ordered before it (clock entry <= C_t[u]),
+//    then records W_x[t] := C_t[t]; a PLAIN read checks prior writes only
+//    and records R_x[t] := C_t[t]. An unordered conflicting pair latches a
+//    race_report carrying both access positions.
+//
+// Two drivers feed it: the harness checker pipeline (checker_kind::race)
+// replays a recorded gamma log's real accesses, and the model-check
+// explorer calls it at every simulated access so EVERY interleaving within
+// the bound is certified race-free (the detector state rides inside
+// sim_state and joins its fingerprint, keeping memoization sound).
+// The whole state is a handful of small flat vectors, so copying it at
+// each model-check branch point is cheap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/contracts.hpp"
+#include "analysis/observer.hpp"
+
+namespace bloom87::analysis {
+
+/// The first detected race: a conflicting, happens-before-unordered pair
+/// of plain accesses to one location. Positions are 1-based access indices
+/// in the order the detector was fed.
+struct race_report {
+    std::uint32_t location{0};
+    std::int16_t first_thread{0};
+    std::int16_t second_thread{0};
+    bool first_is_write{false};
+    bool second_is_write{false};
+    std::uint64_t first_pos{0};
+    std::uint64_t second_pos{0};
+
+    /// Human-readable one-liner; `location_label` names the location kind
+    /// ("base register" for the model checker, "register" for gamma logs).
+    [[nodiscard]] std::string describe(
+        std::string_view location_label = "location") const;
+};
+
+class race_detector {
+public:
+    race_detector() = default;
+    race_detector(std::size_t threads, std::size_t locations) {
+        reset(threads, locations);
+    }
+
+    void reset(std::size_t threads, std::size_t locations);
+
+    /// Feeds one access. Races beyond the first still count in races()
+    /// but only the first is latched for diagnosis.
+    void on_access(std::size_t thread, std::size_t location, bool is_write,
+                   sync_class cls);
+
+    [[nodiscard]] const std::optional<race_report>& first_race()
+        const noexcept {
+        return first_;
+    }
+    [[nodiscard]] std::uint64_t races() const noexcept { return races_; }
+    [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+
+    /// Appends the detector's CLOCK state (not access counters or
+    /// positions) -- two detector states with equal clocks behave
+    /// identically on every future access, so this is exactly what model-
+    /// check memoization may key on; counters would make retry loops that
+    /// reconverge on the same clocks look like fresh states forever.
+    void fingerprint(std::vector<std::uint64_t>& out) const;
+
+private:
+    [[nodiscard]] std::uint32_t& vc(std::size_t t, std::size_t u) {
+        return vc_[t * threads_ + u];
+    }
+    void flag(std::size_t loc, std::size_t prior_thread, bool prior_is_write,
+              std::uint64_t prior_pos, std::size_t thread, bool is_write);
+
+    std::size_t threads_{0};
+    std::size_t locations_{0};
+    std::vector<std::uint32_t> vc_;    ///< threads x threads thread clocks
+    std::vector<std::uint32_t> rel_;   ///< locations x threads published L_x
+    std::vector<std::uint32_t> wclk_;  ///< locations x threads plain-write clocks
+    std::vector<std::uint32_t> rclk_;  ///< locations x threads plain-read clocks
+    std::vector<std::uint64_t> wpos_;  ///< last plain-write access position
+    std::vector<std::uint64_t> rpos_;  ///< last plain-read access position
+    std::uint64_t accesses_{0};
+    std::uint64_t races_{0};
+    std::optional<race_report> first_;
+};
+
+/// Bridges an instrumented register (access_observer) into the detector:
+/// classifies every observed access with one fixed sync_class (the
+/// register's declared contract) and forwards it.
+class detector_feed final : public access_observer {
+public:
+    detector_feed(race_detector* det, sync_class cls) noexcept
+        : det_(det), cls_(cls) {}
+
+    void on_real_access(std::int16_t thread, std::uint32_t location,
+                        bool is_write) override {
+        det_->on_access(static_cast<std::size_t>(thread), location, is_write,
+                        cls_);
+    }
+
+private:
+    race_detector* det_;
+    sync_class cls_;
+};
+
+}  // namespace bloom87::analysis

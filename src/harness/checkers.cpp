@@ -1,9 +1,12 @@
 #include "harness/checkers.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <set>
 
+#include "analysis/contracts.hpp"
+#include "analysis/race_detector.hpp"
 #include "linearizability/bloom_linearizer.hpp"
 #include "linearizability/exhaustive.hpp"
 #include "linearizability/fast_register.hpp"
@@ -79,7 +82,8 @@ constexpr std::size_t exhaustive_limit = 62;
     return mon.verify();
 }
 
-check_verdict run_one(checker_kind kind, const history& h, value_t initial) {
+check_verdict run_one(checker_kind kind, const history& h, value_t initial,
+                      const std::string& register_name) {
     check_verdict v;
     v.kind = kind;
     const steady::time_point t0 = steady::now();
@@ -134,6 +138,54 @@ check_verdict run_one(checker_kind kind, const history& h, value_t initial) {
             if (!v.pass) v.diagnosis = r.diagnosis;
             break;
         }
+        case checker_kind::race: {
+            // The detector needs to know how the register class the log came
+            // from synchronizes its real accesses: the registry name selects
+            // the declared contract (src/analysis/contracts.cpp).
+            if (register_name.empty()) {
+                v.skip_reason =
+                    "needs the recorded register's registry name to select "
+                    "its declared synchronization contract";
+                return v;
+            }
+            const std::optional<analysis::sync_class> cls =
+                analysis::registry_sync_class(register_name);
+            if (!cls.has_value()) {
+                v.skip_reason = "register '" + register_name +
+                                "' declares no synchronization contract";
+                return v;
+            }
+            if (!has_real_accesses(h)) {
+                v.skip_reason =
+                    "needs real-register accesses (record through "
+                    "bloom/recording)";
+                return v;
+            }
+            v.contract = analysis::sync_class_name(*cls);
+            // Dense thread ids: gamma carries sparse processor ids.
+            std::map<processor_id, std::size_t> threads;
+            std::size_t locations = 0;
+            for (const event& e : h.gamma) {
+                if (!is_real(e.kind)) continue;
+                threads.emplace(e.processor, threads.size());
+                locations = std::max(locations,
+                                     static_cast<std::size_t>(e.reg) + 1);
+            }
+            analysis::race_detector det(threads.size(), locations);
+            for (const event& e : h.gamma) {
+                if (!is_real(e.kind)) continue;
+                det.on_access(threads.at(e.processor), e.reg,
+                              e.kind == event_kind::real_write, *cls);
+            }
+            v.ran = true;
+            v.races = static_cast<std::size_t>(det.races());
+            v.accesses_checked = static_cast<std::size_t>(det.accesses());
+            v.pass = det.races() == 0;
+            if (!v.pass && det.first_race().has_value()) {
+                v.diagnosis = det.first_race()->describe("register");
+            }
+            break;
+        }
         case checker_kind::regular:
         case checker_kind::safe: {
             if (writing_processors(h) > 1) {
@@ -163,6 +215,7 @@ std::string checker_name(checker_kind k) {
         case checker_kind::monitor: return "monitor";
         case checker_kind::regular: return "regular";
         case checker_kind::safe: return "safe";
+        case checker_kind::race: return "race";
     }
     return "?";
 }
@@ -174,6 +227,7 @@ std::optional<checker_kind> parse_checker(std::string_view name) {
     if (name == "monitor") return checker_kind::monitor;
     if (name == "regular") return checker_kind::regular;
     if (name == "safe") return checker_kind::safe;
+    if (name == "race") return checker_kind::race;
     return std::nullopt;
 }
 
@@ -193,7 +247,7 @@ std::optional<std::vector<checker_kind>> parse_checker_list(
             if (error != nullptr) {
                 *error = "unknown checker '" + std::string(name) +
                          "' (bloom, fast, exhaustive, monitor, regular, "
-                         "safe, none)";
+                         "safe, race, none)";
             }
             return std::nullopt;
         }
@@ -205,7 +259,8 @@ std::optional<std::vector<checker_kind>> parse_checker_list(
 }
 
 pipeline_result run_checkers(const std::vector<event>& events, value_t initial,
-                             const std::vector<checker_kind>& kinds) {
+                             const std::vector<checker_kind>& kinds,
+                             const std::string& register_name) {
     pipeline_result out;
     parse_result parsed = parse_history(events, initial);
     if (!parsed.ok()) {
@@ -217,7 +272,7 @@ pipeline_result run_checkers(const std::vector<event>& events, value_t initial,
     out.operations = parsed.hist.ops.size();
     out.verdicts.reserve(kinds.size());
     for (const checker_kind k : kinds) {
-        out.verdicts.push_back(run_one(k, parsed.hist, initial));
+        out.verdicts.push_back(run_one(k, parsed.hist, initial, register_name));
     }
     return out;
 }

@@ -26,6 +26,7 @@ enum class checker_kind : std::uint8_t {
     monitor,     ///< the runtime atomicity monitor, fed by replay
     regular,     ///< Lamport regularity (single-writer histories)
     safe,        ///< Lamport safety (single-writer histories)
+    race,        ///< happens-before race detector over real accesses
 };
 
 [[nodiscard]] std::string checker_name(checker_kind k);
@@ -52,6 +53,10 @@ struct check_verdict {
     std::size_t reads_of_potent{0};
     std::size_t reads_of_impotent{0};
     std::size_t reads_of_initial{0};
+    /// Race checker only: detector statistics and the contract applied.
+    std::size_t races{0};
+    std::size_t accesses_checked{0};
+    std::string contract;  ///< declared sync class ("sync"/"relaxed"/"plain")
 };
 
 /// The pipeline's result: history parse outcome plus per-checker verdicts.
@@ -72,8 +77,14 @@ struct pipeline_result {
 };
 
 /// Parses `events` into a history and runs each requested checker on it.
-[[nodiscard]] pipeline_result run_checkers(const std::vector<event>& events,
-                                           value_t initial,
-                                           const std::vector<checker_kind>& kinds);
+/// `register_name` (registry spelling, e.g. "bloom/recording") selects the
+/// declared synchronization contract the race checker applies to the real
+/// accesses; the race checker reports itself skipped when it is empty or
+/// has no contract row (src/analysis/contracts.cpp). Other checkers
+/// ignore it.
+[[nodiscard]] pipeline_result run_checkers(
+    const std::vector<event>& events, value_t initial,
+    const std::vector<checker_kind>& kinds,
+    const std::string& register_name = "");
 
 }  // namespace bloom87::harness

@@ -170,7 +170,7 @@ void common_flags::add_to(flag_parser& p) {
                  &json_path);
     p.add_string("check",
                  "comma-separated checkers (bloom,fast,exhaustive,monitor,"
-                 "regular,safe,none)",
+                 "regular,safe,race,none)",
                  &check);
     p.add_unsigned("duration-ms",
                    "timed run length (0 = scripted run, checkable)",

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/contracts.hpp"
 #include "baselines/mutex_register.hpp"
 #include "baselines/native_atomic.hpp"
 #include "baselines/rwlock_register.hpp"
@@ -719,6 +720,32 @@ std::vector<registry_entry> build_registry() {
                      }});
     }
 
+    {
+        // The race-checker's live negative fixture: physically it is the
+        // recording substrate (serialized, safe to run on real threads), but
+        // it DECLARES the plain synchronization contract of registers/
+        // plain.hpp -- so the race checker must flag its recorded histories.
+        // Not expected to pass atomicity checking ceremony either: reports
+        // should show the race verdict, not certify the composition.
+        register_info i =
+            info("bloom/plain",
+                 "Bloom two-writer DECLARED over plain (unsynchronized) "
+                 "registers -- the race checker's expected-fail fixture",
+                 2, 2, true);
+        i.records_real_accesses = true;
+        i.requires_log = true;
+        i.expected_atomic = false;
+        r.push_back({std::move(i),
+                     [](const register_args& a) -> std::unique_ptr<any_register> {
+                         using reg_t =
+                             two_writer_register<value_t, recording_register>;
+                         auto reg = std::make_unique<reg_t>(a.initial, a.log);
+                         return std::make_unique<
+                             bloom_any<value_t, recording_register>>(
+                             std::move(reg));
+                     }});
+    }
+
     r.push_back({info("faulty/seqlock",
                       "Bloom two-writer over seqlock substrates wrapped in "
                       "the fault injector (--fault picks the class; "
@@ -827,6 +854,17 @@ std::vector<registry_entry> build_registry() {
                  [](const register_args& a) -> std::unique_ptr<any_register> {
                      return std::make_unique<native_any>(a.initial, a.log);
                  }});
+
+    // Stamp each entry with its declared synchronization contract (the race
+    // checker and the report writer surface it); entries without a row in
+    // src/analysis/contracts.cpp stay "".
+    for (registry_entry& e : r) {
+        const std::optional<analysis::sync_class> cls =
+            analysis::registry_sync_class(e.info.name);
+        if (cls.has_value()) {
+            e.info.access_contract = analysis::sync_class_name(*cls);
+        }
+    }
 
     return r;
 }

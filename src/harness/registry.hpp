@@ -95,6 +95,11 @@ struct register_info {
     /// Known NOT to be atomic (the Section 8 tournament) -- checkers are
     /// expected to fail it.
     bool expected_atomic{true};
+    /// Declared synchronization contract of the composition's real accesses
+    /// ("sync"/"relaxed"/"plain"; src/analysis/contracts.cpp), "" when the
+    /// entry declares none. The race checker keys off this; build_registry
+    /// fills it from analysis::registry_sync_class.
+    std::string access_contract;
 };
 
 /// A type-erased register instance. Ports are created before the run, one

@@ -25,7 +25,7 @@ namespace {
 report_writer::report_writer(std::ostream& os, const std::string& bench)
     : os_(os), w_(os) {
     w_.begin_object();
-    w_.field("schema", "bloom87-harness-v2");
+    w_.field("schema", "bloom87-harness-v3");
     w_.field("bench", bench);
     w_.key("environment").begin_object();
     w_.field("hardware_concurrency", std::thread::hardware_concurrency());
@@ -123,6 +123,12 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
                     w_.field("reads_of_initial",
                              static_cast<std::uint64_t>(v.reads_of_initial));
                 }
+                if (v.kind == checker_kind::race) {
+                    w_.field("races", static_cast<std::uint64_t>(v.races));
+                    w_.field("accesses_checked",
+                             static_cast<std::uint64_t>(v.accesses_checked));
+                    w_.field("contract", v.contract);
+                }
             }
             w_.end_object();
         }
@@ -131,6 +137,29 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
         w_.field("history_parsed", checks->parsed);
         if (!checks->parsed) w_.field("parse_error", checks->parse_error);
         w_.field("all_pass", checks->all_pass());
+
+        // v3: the analysis block mirrors the race checker's verdict whenever
+        // the checker was REQUESTED: detector statistics when it ran, an
+        // explicit skip_reason when it could not (skipped work says why).
+        for (const check_verdict& v : checks->verdicts) {
+            if (v.kind != checker_kind::race) continue;
+            w_.key("analysis").begin_object();
+            w_.field("checker", "race");
+            w_.field("ran", v.ran);
+            if (!v.ran) {
+                w_.field("skip_reason", v.skip_reason);
+            } else {
+                w_.field("pass", v.pass);
+                w_.field("races", static_cast<std::uint64_t>(v.races));
+                w_.field("accesses_checked",
+                         static_cast<std::uint64_t>(v.accesses_checked));
+                w_.field("contract", v.contract);
+                if (!v.pass) w_.field("diagnosis", v.diagnosis);
+                w_.field("millis", v.millis);
+            }
+            w_.end_object();
+            break;
+        }
     }
 
     // v2: substrate fault injection + online detection, on fault runs and

@@ -1,10 +1,10 @@
-// bloom87: the one JSON report schema ("bloom87-harness-v2").
+// bloom87: the one JSON report schema ("bloom87-harness-v3").
 //
 // Every bench/example binary emits the same machine-readable shape so
 // cross-PR tracking tooling parses one format:
 //
 //   {
-//     "schema": "bloom87-harness-v2",
+//     "schema": "bloom87-harness-v3",
 //     "bench": "<binary name>",
 //     "environment": { "hardware_concurrency": N, "compiler": "...",
 //                      "build": "release|debug" },
@@ -24,6 +24,8 @@
 //                      injection_pos, online: { violation, caught_live,
 //                      detection_prefix, latency_ops, culprit_processor,
 //                      culprit_op, diagnosis } },
+//        "analysis": { checker: "race", ran, skip_reason | pass, races,
+//                      accesses_checked, contract, diagnosis, millis },
 //        ...bench-specific extras... } ],
 //     "tables": [ { "name": "...", "header": [...], "rows": [[...]] } ]
 //   }
@@ -37,6 +39,12 @@
 // present only on runs with an active fault spec or a monitored run.
 // Everything else is unchanged, so v1 consumers need only accept the new
 // schema string and ignore the extra key.
+//
+// v2 -> v3: runs gained the optional `analysis` block, present exactly when
+// the race checker was REQUESTED (--check race): when it ran it carries the
+// happens-before detector's verdict and statistics; when it was skipped it
+// carries ran:false plus the explicit skip_reason (skipped work always says
+// why). The race checker also appears in `checkers` like any other kind.
 #pragma once
 
 #include <functional>

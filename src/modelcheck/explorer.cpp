@@ -147,6 +147,22 @@ private:
         int total_moves = 0;
         for (;;) {
             if (over_budget()) return std::nullopt;
+            // Race-mode pruning: a state whose detector latched a race is a
+            // counterexample -- record the schedule that got here and do not
+            // expand it (every extension stays racy).
+            if (const analysis::race_report* r = s.race()) {
+                violations_.fetch_add(1, std::memory_order_relaxed);
+                property_holds_.store(false, std::memory_order_relaxed);
+                {
+                    std::lock_guard<std::mutex> guard(violation_mutex_);
+                    if (!first_violation_.has_value()) {
+                        first_violation_ =
+                            violation{s.hist, r->describe("base register")};
+                    }
+                }
+                if (cfg_.stop_at_first_violation) request_stop();
+                return std::nullopt;
+            }
             fp.clear();
             s.fingerprint(fp);
             if (!visited_.insert(hash_words(fp))) {
@@ -167,6 +183,7 @@ private:
             // Deterministic stretch: step the one enabled move in place --
             // no copy at all (long forced stretches dominate real
             // explorations).
+            s.set_acting(static_cast<std::int16_t>(single_proc));
             s.procs[single_proc]->step(s, 0);
         }
         std::vector<std::uint32_t> moves;
@@ -315,6 +332,7 @@ private:
                     }
                     return sim_state(top.state);
                 }();
+                child.set_acting(static_cast<std::int16_t>(proc));
                 child.procs[proc]->step(child, choice);
                 if (std::optional<branch_node> node = visit(std::move(child), fp)) {
                     stack.push_back(std::move(*node));

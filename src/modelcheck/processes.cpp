@@ -537,6 +537,119 @@ private:
 };
 
 // ---------------------------------------------------------------------------
+// Seqlock SWMR register over two atomic cells (race-certification model).
+// Register base+0 = sequence number, base+1 = the payload word; both are
+// single-step ATOMIC -- the race modes distinguish them by sync class
+// (seq sync, payload relaxed or plain), not by consistency level.
+// ---------------------------------------------------------------------------
+
+class seqlock_writer_proc final : public script_process {
+public:
+    seqlock_writer_proc(std::size_t base, std::vector<mc_value> values)
+        : script_process(/*proc=*/0, std::move(values)), base_(base) {}
+
+    [[nodiscard]] std::unique_ptr<process> clone() const override {
+        return std::make_unique<seqlock_writer_proc>(*this);
+    }
+    [[nodiscard]] bool done(const sim_state&) const override {
+        return pos_ == script_.size();
+    }
+    [[nodiscard]] int fanout(const sim_state&) const override { return 1; }
+
+    // Abstract steps: 0 inv; 1 read seq -> s; 2 write seq = s+1 (odd);
+    // 3 write payload; 4 write seq = s+2 (even); 5 resp.
+    void step(sim_state& s, int) override {
+        switch (pc_) {
+            case 0:
+                open_op_ = s.begin_op(proc_, opno_, op_kind::write,
+                                      static_cast<value_t>(script_[pos_]));
+                pc_ = 1;
+                break;
+            case 1:
+                locals_[0] = s.read_atomic(base_);
+                pc_ = 2;
+                break;
+            case 2:
+                s.write_atomic(base_, static_cast<mc_value>(locals_[0] + 1));
+                pc_ = 3;
+                break;
+            case 3:
+                s.write_atomic(base_ + 1, script_[pos_]);
+                pc_ = 4;
+                break;
+            case 4:
+                s.write_atomic(base_, static_cast<mc_value>(locals_[0] + 2));
+                pc_ = 5;
+                break;
+            case 5:
+                s.end_op(open_op_, 0);
+                advance_script();
+                break;
+        }
+    }
+
+    void fingerprint(std::vector<std::uint64_t>& out) const override {
+        base_fingerprint(out, 0x101d);
+        out.push_back(base_);
+    }
+
+private:
+    std::size_t base_;
+};
+
+class seqlock_reader_proc final : public script_process {
+public:
+    seqlock_reader_proc(std::size_t base, processor_id proc, int num_reads)
+        : script_process(proc, std::vector<mc_value>(
+                                   static_cast<std::size_t>(num_reads), 0)),
+          base_(base) {}
+
+    [[nodiscard]] std::unique_ptr<process> clone() const override {
+        return std::make_unique<seqlock_reader_proc>(*this);
+    }
+    [[nodiscard]] bool done(const sim_state&) const override {
+        return pos_ == script_.size();
+    }
+    [[nodiscard]] int fanout(const sim_state&) const override { return 1; }
+
+    // Abstract steps: 0 inv; 1 read seq -> before (stays at 1 while odd);
+    // 2 read payload -> v; 3 re-read seq (back to 1 on a change); 4 resp.
+    // Retry states reconverge structurally, so the explorer's visited set
+    // bounds the loop; retries never tick the history clock.
+    void step(sim_state& s, int) override {
+        switch (pc_) {
+            case 0:
+                open_op_ = s.begin_op(proc_, opno_, op_kind::read, 0);
+                pc_ = 1;
+                break;
+            case 1:
+                locals_[0] = s.read_atomic(base_);
+                if ((locals_[0] & 1) == 0) pc_ = 2;
+                break;
+            case 2:
+                locals_[1] = s.read_atomic(base_ + 1);
+                pc_ = 3;
+                break;
+            case 3:
+                pc_ = s.read_atomic(base_) == locals_[0] ? 4 : 1;
+                break;
+            case 4:
+                s.end_op(open_op_, static_cast<value_t>(locals_[1]));
+                advance_script();
+                break;
+        }
+    }
+
+    void fingerprint(std::vector<std::uint64_t>& out) const override {
+        base_fingerprint(out, 0x101e);
+        out.push_back(base_);
+    }
+
+private:
+    std::size_t base_;
+};
+
+// ---------------------------------------------------------------------------
 // Lamport's unary k-valued regular register from regular bits.
 // ---------------------------------------------------------------------------
 
@@ -1695,6 +1808,14 @@ std::unique_ptr<process> make_fourslot_writer(std::size_t base,
 std::unique_ptr<process> make_fourslot_reader(std::size_t base,
                                               processor_id proc, int num_reads) {
     return std::make_unique<fourslot_reader_proc>(base, proc, num_reads);
+}
+std::unique_ptr<process> make_seqlock_writer(std::size_t base,
+                                             std::vector<mc_value> values) {
+    return std::make_unique<seqlock_writer_proc>(base, std::move(values));
+}
+std::unique_ptr<process> make_seqlock_reader(std::size_t base,
+                                             processor_id proc, int num_reads) {
+    return std::make_unique<seqlock_reader_proc>(base, proc, num_reads);
 }
 std::unique_ptr<process> make_unary_writer(std::size_t base, int k,
                                            std::vector<mc_value> values) {

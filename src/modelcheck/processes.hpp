@@ -107,6 +107,18 @@ namespace bloom87::mc {
                                                             processor_id proc,
                                                             int num_reads);
 
+/// --- Seqlock SWMR register (race-certification substrate model) ----------
+/// Base register layout: base+0 = sequence number (needs domain >=
+/// 2*total_writes+1), base+1 = the payload word (domain >= max value + 1);
+/// both level ATOMIC -- race modes distinguish them by sync class instead.
+/// Writer: s = seq; seq = s+1; payload = v; seq = s+2. Reader: retry while
+/// seq is odd or changed across the payload read (registers/seqlock.hpp).
+[[nodiscard]] std::unique_ptr<process> make_seqlock_writer(
+    std::size_t base, std::vector<mc_value> values_to_write);
+[[nodiscard]] std::unique_ptr<process> make_seqlock_reader(std::size_t base,
+                                                           processor_id proc,
+                                                           int num_reads);
+
 /// --- Lamport's unary construction: k-valued REGULAR from regular bits ----
 /// Base registers base+0 .. base+k-1: one bit per value (level regular).
 /// Initially bit 0 is 1 (register holds 0). Writer writing v sets bit v,

@@ -12,7 +12,10 @@ std::uint64_t full_mask(mc_value domain) {
 
 }  // namespace
 
-sim_state::sim_state(const sim_state& other) : clock_(other.clock_) {
+sim_state::sim_state(const sim_state& other)
+    : clock_(other.clock_),
+      detector_(other.detector_),
+      acting_(other.acting_) {
     // Capacity-preserving clone: the explorer copies states at every branch
     // point and then keeps appending to `hist` -- inheriting the parent's
     // grown capacity spares the child the same reallocation ladder.
@@ -23,9 +26,17 @@ sim_state::sim_state(const sim_state& other) : clock_(other.clock_) {
     for (const auto& p : other.procs) procs.push_back(p->clone());
 }
 
+void sim_state::enable_race_detection() {
+    detector_.emplace(procs.size(), registers.size());
+}
+
 mc_value sim_state::read_atomic(std::size_t reg) {
     mc_register& r = registers[reg];
     assert(r.level == reg_level::atomic);
+    if (detector_.has_value()) {
+        detector_->on_access(static_cast<std::size_t>(acting_), reg, false,
+                             r.sync);
+    }
     return r.committed;
 }
 
@@ -33,6 +44,10 @@ void sim_state::write_atomic(std::size_t reg, mc_value v) {
     mc_register& r = registers[reg];
     assert(r.level == reg_level::atomic);
     assert(v >= 0 && v < r.domain);
+    if (detector_.has_value()) {
+        detector_->on_access(static_cast<std::size_t>(acting_), reg, true,
+                             r.sync);
+    }
     if (r.track_previous) r.previous = r.committed;
     r.committed = v;
 }
@@ -40,6 +55,14 @@ void sim_state::write_atomic(std::size_t reg, mc_value v) {
 void sim_state::begin_read(std::size_t reg, std::int16_t proc) {
     mc_register& r = registers[reg];
     assert(r.level != reg_level::atomic);
+    // The access joins/checks happens-before at its BEGIN step: reads
+    // record here and writes check recorded reads at begin_write, so any
+    // overlap between a split read and a split write is caught from
+    // whichever side starts second.
+    if (detector_.has_value()) {
+        detector_->on_access(static_cast<std::size_t>(proc), reg, false,
+                             r.sync);
+    }
     std::uint64_t candidates = 1ULL << r.committed;
     if (r.active_write >= 0) {
         candidates = r.level == reg_level::safe ? full_mask(r.domain)
@@ -80,6 +103,10 @@ void sim_state::begin_write(std::size_t reg, mc_value v) {
     assert(r.level != reg_level::atomic);
     assert(r.active_write < 0 && "concurrent writers on a single-writer register");
     assert(v >= 0 && v < r.domain);
+    if (detector_.has_value()) {
+        detector_->on_access(static_cast<std::size_t>(acting_), reg, true,
+                             r.sync);
+    }
     r.active_write = v;
     // The new write overlaps every read in progress.
     for (auto& [p, mask] : r.active_reads) {
@@ -151,6 +178,11 @@ void sim_state::fingerprint(std::vector<std::uint64_t>& out) const {
         out.push_back(o.responded);
     }
     for (const auto& p : procs) p->fingerprint(out);
+    // Armed detectors join the fingerprint (clock vectors only): two states
+    // with identical structure but different happens-before knowledge must
+    // not be merged, or a race reachable from one could be pruned via the
+    // other. Race-free explorations pay nothing.
+    if (detector_.has_value()) detector_->fingerprint(out);
 }
 
 }  // namespace bloom87::mc

@@ -29,8 +29,10 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "analysis/race_detector.hpp"
 #include "histories/events.hpp"
 #include "histories/history.hpp"
 
@@ -55,6 +57,11 @@ struct mc_register {
     /// fault-free explorations stay exactly what the tests pin.
     bool track_previous{false};
     mc_value previous{0};
+
+    /// Race-detection mode only: the declared synchronization class of this
+    /// register's accesses (analysis/contracts.hpp). Ignored unless the
+    /// sim_state's detector is armed.
+    analysis::sync_class sync{analysis::sync_class::sync};
 
     /// Reads in progress: (processor, candidate bitmask). domain <= 64.
     std::vector<std::pair<std::int16_t, std::uint64_t>> active_reads;
@@ -105,8 +112,31 @@ public:
     /// Monotone event counter giving inv/resp positions.
     [[nodiscard]] event_pos now() const noexcept { return clock_; }
 
+    /// --- happens-before race detection (opt-in; off by default) ---
+
+    /// Arms the FastTrack-style detector over procs.size() threads and
+    /// registers.size() locations. Every subsequent register access feeds
+    /// it using each register's declared `sync` class; the detector's
+    /// clock digest joins fingerprint() (keeping memoization sound), and
+    /// the first conflicting unordered pair of plain accesses latches
+    /// race(). Call only after `registers` and `procs` are populated.
+    void enable_race_detection();
+
+    /// The first detected race, nullptr while race-free (or unarmed).
+    [[nodiscard]] const analysis::race_report* race() const noexcept {
+        return detector_.has_value() && detector_->first_race().has_value()
+                   ? &*detector_->first_race()
+                   : nullptr;
+    }
+
+    /// Explorer hook: the index (into procs) of the process about to step;
+    /// its accesses are attributed to that thread id by the detector.
+    void set_acting(std::int16_t proc) noexcept { acting_ = proc; }
+
 private:
     event_pos clock_{0};
+    std::optional<analysis::race_detector> detector_;
+    std::int16_t acting_{0};
 };
 
 /// A protocol process: a small-step state machine over a sim_state.

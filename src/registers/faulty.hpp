@@ -131,7 +131,9 @@ class fault_plan {
 public:
     explicit fault_plan(const fault_spec& spec, const event_log* log = nullptr)
         : spec_(spec), log_(log), gen_(spec.seed) {
-        for (auto& c : crashed_) c.store(false, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < crashed_.size(); ++i) {
+            crashed_[i].store(false, std::memory_order_relaxed);
+        }
     }
 
     fault_plan(const fault_plan&) = delete;

@@ -76,21 +76,21 @@ private:
         (sizeof(tagged<T>) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
     using slot_words = std::array<std::atomic<std::uint64_t>, word_count>;
 
-    static void store_slot(slot_words& s, const tagged<T>& v) noexcept {
+    static void store_slot(slot_words& slots, const tagged<T>& v) noexcept {
         std::array<std::uint64_t, word_count> staging{};
         std::memcpy(staging.data(), static_cast<const void*>(&v),
                     sizeof(tagged<T>));
         for (std::size_t i = 0; i < word_count; ++i) {
-            s[i].store(staging[i], std::memory_order_relaxed);
+            slots[i].store(staging[i], std::memory_order_relaxed);
         }
         std::atomic_thread_fence(std::memory_order_release);
     }
 
-    static tagged<T> load_slot(const slot_words& s) noexcept {
+    static tagged<T> load_slot(const slot_words& slots) noexcept {
         std::atomic_thread_fence(std::memory_order_acquire);
         std::array<std::uint64_t, word_count> staging;
         for (std::size_t i = 0; i < word_count; ++i) {
-            staging[i] = s[i].load(std::memory_order_relaxed);
+            staging[i] = slots[i].load(std::memory_order_relaxed);
         }
         tagged<T> out;
         std::memcpy(static_cast<void*>(&out), staging.data(), sizeof(tagged<T>));

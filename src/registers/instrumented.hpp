@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "analysis/observer.hpp"
 #include "registers/concepts.hpp"
 
 namespace bloom87 {
@@ -36,13 +37,29 @@ public:
 
     [[nodiscard]] auto read(access_context ctx = {}) {
         reads_.fetch_add(1, std::memory_order_relaxed);
+        if (observer_ != nullptr) {
+            observer_->on_real_access(ctx.processor, location_, false);
+        }
         return inner_.read(ctx);
     }
 
     template <typename V>
     void write(V v, access_context ctx = {}) {
         writes_.fetch_add(1, std::memory_order_relaxed);
+        if (observer_ != nullptr) {
+            observer_->on_real_access(ctx.processor, location_, true);
+        }
         inner_.write(v, ctx);
+    }
+
+    /// Streams every access (before it executes) to an analysis observer --
+    /// the bridge into the happens-before race detector. `location`
+    /// identifies this register in the observer's location space. The
+    /// observer must serialize its own state if accesses are concurrent.
+    void set_observer(analysis::access_observer* obs,
+                      std::uint32_t location = 0) noexcept {
+        observer_ = obs;
+        location_ = location;
     }
 
     [[nodiscard]] access_counts counts() const noexcept {
@@ -61,6 +78,8 @@ private:
     Inner inner_;
     std::atomic<std::uint64_t> reads_{0};
     std::atomic<std::uint64_t> writes_{0};
+    analysis::access_observer* observer_{nullptr};
+    std::uint32_t location_{0};
 };
 
 }  // namespace bloom87

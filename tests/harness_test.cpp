@@ -214,7 +214,8 @@ TEST(HarnessCheckers, SkipRulesReportWhy) {
     const pipeline_result checks = run_checkers(
         res.events, 0,
         {checker_kind::bloom, checker_kind::fast, checker_kind::exhaustive,
-         checker_kind::monitor, checker_kind::regular, checker_kind::safe});
+         checker_kind::monitor, checker_kind::regular, checker_kind::safe,
+         checker_kind::race});
     ASSERT_TRUE(checks.parsed) << checks.parse_error;
     for (const check_verdict& v : checks.verdicts) {
         switch (v.kind) {
@@ -222,6 +223,7 @@ TEST(HarnessCheckers, SkipRulesReportWhy) {
             case checker_kind::exhaustive:  // 400 ops > the 62-op limit
             case checker_kind::regular:
             case checker_kind::safe:
+            case checker_kind::race:  // no register name passed
                 EXPECT_FALSE(v.ran) << checker_name(v.kind);
                 EXPECT_FALSE(v.skip_reason.empty()) << checker_name(v.kind);
                 break;
