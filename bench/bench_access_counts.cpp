@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     harness::flag_parser parser("bench_access_counts",
                                 "real-register accesses per simulated op");
     std::string json_path;
-    parser.add_string("json", "write a bloom87-harness-v3 report here",
+    parser.add_string("json", "write a bloom87-harness-v4 report here",
                       &json_path);
     if (!parser.parse(argc, argv)) return 64;
     if (parser.help_requested()) return 0;
@@ -119,10 +119,13 @@ int main(int argc, char** argv) {
         static_cast<double>(writes + 2 * writer_reads + 3 * reader_reads);
     table a({"ops", "writes", "writer cached reads", "reader reads",
              "total real accesses", "bound from Section 5"});
+    std::string bound = "[";
+    bound += fixed(expected_min + writes, 0);
+    bound += ", ";
+    bound += fixed(expected_max + writes, 0);
+    bound += "]";
     a.row({with_commas(n), with_commas(writes), with_commas(writer_reads),
-           with_commas(reader_reads), with_commas(c.total()),
-           "[" + fixed(expected_min + writes, 0) + ", " +
-               fixed(expected_max + writes, 0) + "]"});
+           with_commas(reader_reads), with_commas(c.total()), bound});
     a.print(std::cout);
     std::cout << "\n(writes contribute 1 read + 1 write each; cached reads 1-2\n"
               << "reads; reader reads exactly 3 reads.)\n";

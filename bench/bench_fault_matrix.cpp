@@ -137,6 +137,52 @@ cell_outcome run_cell(const std::string& reg, const scenario& sc,
     return "1/" + std::to_string(rate_den);
 }
 
+/// One cell of the detection-latency scaling sweep: a seeded faulty/seqlock
+/// run watched mid-stream by the streaming checker, retried across seeds
+/// until the injected corruption is actually observed. Reports how many
+/// completed operations the corruption hid behind (latency_ops) as a
+/// function of fault rate and checker stride.
+struct scaling_cell {
+    harness::run_spec spec;
+    harness::run_result result;
+    std::uint64_t seeds_tried{1};
+    bool detected{false};
+};
+
+scaling_cell run_scaling_cell(std::uint64_t rate_den, unsigned stride,
+                              std::size_t ops, std::uint64_t base_seed,
+                              std::uint64_t attempts) {
+    scaling_cell out;
+    for (std::uint64_t attempt = 0; attempt < attempts; ++attempt) {
+        harness::run_spec spec;
+        spec.register_name = "faulty/seqlock";
+        spec.load.writers = 2;
+        spec.load.readers = 2;
+        spec.load.ops_per_writer = ops;
+        spec.load.ops_per_reader = ops;
+        spec.seed = base_seed + attempt;
+        spec.collect = harness::collect_mode::gamma;
+        spec.schedule = harness::schedule_mode::seeded;
+        spec.fault.cls = fault_class::stale_read;
+        spec.fault.rate_num = 1;
+        spec.fault.rate_den = rate_den;
+        spec.fault.seed = base_seed + attempt;
+        spec.streaming_monitor = true;
+        spec.stream_window = 4 * stride;
+        spec.stream_stride = stride;
+
+        out.spec = spec;
+        out.seeds_tried = attempt + 1;
+        out.result = harness::run(spec);
+        if (!out.result.ok) return out;
+        if (out.result.stream.violation) {
+            out.detected = true;
+            return out;
+        }
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,7 +258,40 @@ int main(int argc, char** argv) {
               << "(the paper's fault model, Sections 4 and 7); every value-\n"
               << "corrupting row must read `detected`, with the latency\n"
               << "column showing how many operations the corruption hid\n"
-              << "behind before the online verifier caught it.\n";
+              << "behind before the online verifier caught it.\n\n";
+
+    // Detection-latency scaling: the streaming checker's first-violation
+    // latency against fault rate and checking stride. Rarer faults take
+    // longer to land in front of a reader; a coarser stride defers the
+    // check that would notice. Both effects should be visible in the grid.
+    const std::vector<std::uint64_t> scale_rates = {16, 64, 256};
+    const std::vector<unsigned> scale_strides = {16, 64, 256};
+    table scaling({"rate", "stride", "injected", "latency (ops)", "seeds"});
+    std::vector<scaling_cell> scaling_cells;
+    for (const std::uint64_t den : scale_rates) {
+        for (const unsigned stride : scale_strides) {
+            scaling_cell cell = run_scaling_cell(den, stride, flags.ops,
+                                                 flags.seed, attempts);
+            if (!cell.result.ok) {
+                std::cerr << "scaling cell failed: " << cell.result.error
+                          << "\n";
+                return 1;
+            }
+            scaling.row({"1/" + std::to_string(den), std::to_string(stride),
+                         std::to_string(cell.result.faults_injected.total()),
+                         cell.detected
+                             ? std::to_string(cell.result.stream.latency_ops)
+                             : "missed",
+                         std::to_string(cell.seeds_tried)});
+            all_acceptable = all_acceptable && cell.detected;
+            scaling_cells.push_back(std::move(cell));
+            harness::trim_heap();
+        }
+    }
+    std::cout << "Detection-latency scaling (streaming checker, "
+              << "faulty/seqlock stale_read):\n";
+    scaling.print(std::cout);
+
     if (!all_acceptable) {
         std::cout << "\nUNEXPECTED verdicts present -- see the matrix.\n";
     }
@@ -231,7 +310,16 @@ int main(int argc, char** argv) {
                             w.field("seeds_tried", cell.seeds_tried);
                         });
         }
+        for (const scaling_cell& cell : scaling_cells) {
+            rep.add_run(cell.spec, cell.result, nullptr,
+                        [&cell](json_writer& w) {
+                            w.field("verdict",
+                                    cell.detected ? "detected" : "missed");
+                            w.field("seeds_tried", cell.seeds_tried);
+                        });
+        }
         rep.add_table("fault_matrix", t);
+        rep.add_table("detection_latency_scaling", scaling);
         rep.finish();
         std::cout << "wrote " << flags.json_path << "\n";
     }

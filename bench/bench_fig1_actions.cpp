@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     harness::flag_parser parser("bench_fig1_actions",
                                 "actions of a register automaton, counted live");
     std::string json_path;
-    parser.add_string("json", "write a bloom87-harness-v3 report here",
+    parser.add_string("json", "write a bloom87-harness-v4 report here",
                       &json_path);
     if (!parser.parse(argc, argv)) return 64;
     if (parser.help_requested()) return 0;

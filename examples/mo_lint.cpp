@@ -1,26 +1,27 @@
-// mo_lint: memory-order contract lint over the register headers.
+// mo_lint: memory-order contract lint over the audited headers.
 //
-// Scans every audited header under src/registers/ for atomic call sites
-// and checks each against the declared contract table
+// Scans every audited header under the source root (src/registers/ plus
+// the harness collection structures in src/histories/) for atomic call
+// sites and checks each against the declared contract table
 // (src/analysis/contracts.cpp): undeclared sites, weakened or otherwise
 // undeclared memory orders, implicit seq_cst, and stale contract rows all
 // fail. CI runs this on every push; docs/ANALYSIS.md describes the table.
 //
-//   ./build/examples/mo_lint                       # lints src/registers
-//   ./build/examples/mo_lint --dir path/to/registers
+//   ./build/examples/mo_lint                       # lints under src/
+//   ./build/examples/mo_lint --dir path/to/src
 #include <cstdio>
 #include <string>
 
 #include "analysis/mo_lint.hpp"
 
 int main(int argc, char** argv) {
-    std::string dir = "src/registers";
+    std::string dir = "src";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--dir" && i + 1 < argc) {
             dir = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--dir <registers dir>]\n", argv[0]);
+            std::printf("usage: %s [--dir <source root>]\n", argv[0]);
             std::printf(
                 "lints atomic call sites against the declared memory-order "
                 "contracts\n");

@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
         return 64;
     }
 
-    const run_spec spec = flags.to_spec();
+    run_spec spec = flags.to_spec();
+    // Sample every operation unless the user asked for a coarser stride:
+    // the quickstart summary prints the merged latency percentiles.
+    if (spec.latency_sample_every == 0) spec.latency_sample_every = 1;
     const run_result result = run(spec);
     if (!result.ok) {
         std::cerr << "run failed: " << result.error << "\n";
@@ -53,11 +56,37 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total_writes),
                 static_cast<unsigned long long>(result.total_reads),
                 result.threads.size(), result.measured_s * 1e3);
+    if (result.latency.samples > 0) {
+        std::printf("  latency    p50 %.1f us, p99 %.1f us, p999 %.1f us "
+                    "(max %.1f us, %llu samples)\n",
+                    result.latency.p50_us, result.latency.p99_us,
+                    result.latency.p999_us, result.latency.max_us,
+                    static_cast<unsigned long long>(result.latency.samples));
+    }
     if (spec.fault.active()) {
         std::printf("  fault      %s: %llu injected\n",
                     fault_class_name(spec.fault.cls),
                     static_cast<unsigned long long>(
                         result.faults_injected.total()));
+    }
+    if (result.stream.ran) {
+        if (result.stream.violation) {
+            std::printf("  streaming  VIOLATION at event %llu "
+                        "(latency %llu ops): %s\n",
+                        static_cast<unsigned long long>(
+                            result.stream.detection_pos),
+                        static_cast<unsigned long long>(
+                            result.stream.latency_ops),
+                        result.stream.diagnosis.c_str());
+        } else {
+            std::printf("  streaming  clean: %llu events, %llu ops retired, "
+                        "retained peak %llu\n",
+                        static_cast<unsigned long long>(result.stream.events),
+                        static_cast<unsigned long long>(
+                            result.stream.ops_retired),
+                        static_cast<unsigned long long>(
+                            result.stream.retained_peak));
+        }
     }
     if (result.online.ran) {
         if (result.online.violation) {
@@ -116,7 +145,8 @@ int main(int argc, char** argv) {
     const bool corruption_armed =
         spec.fault.active() && corrupts_values(spec.fault.cls);
     if (corruption_armed) {
-        if (checks.all_pass() && !result.online.violation) {
+        if (checks.all_pass() && !result.online.violation &&
+            !result.stream.violation) {
             std::printf("note: injected %s faults went undetected this run "
                         "(try more ops or a higher rate)\n",
                         fault_class_name(spec.fault.cls));

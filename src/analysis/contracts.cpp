@@ -69,6 +69,35 @@ constexpr site_contract instrumented_sites[] = {
     {"writes_", "store", "relaxed"},
 };
 
+constexpr site_contract event_log_sites[] = {
+    // The shared gamma log: slot reservation is a relaxed fetch_add (slot
+    // index IS the serialization), payloads publish through the per-slot
+    // ready flag's release store / acquire load. clear() is single-thread
+    // (relaxed flags, release counter reset).
+    {"next_", "fetch_add", "relaxed"},
+    {"next_", "load", "acquire"},
+    {"next_", "store", "release"},
+    {"overflowed_", "load", "acquire"},
+    {"overflowed_", "store", "relaxed,release"},
+    {"value", "load", "acquire"},
+    {"value", "store", "relaxed,release"},
+};
+
+constexpr site_contract thread_log_sites[] = {
+    // Per-thread SPSC rings: the producer publishes records with one
+    // release store of head_ (acquired by the merger's peek); the
+    // backpressure check acquires tail_. The global seq stamp is a relaxed
+    // fetch_add -- the only cross-thread write on the record path.
+    {"next_", "fetch_add", "relaxed"},
+    {"next_", "load", "relaxed"},
+    {"head_", "load", "acquire,relaxed"},
+    {"head_", "store", "release"},
+    {"tail_", "load", "acquire,relaxed"},
+    {"tail_", "store", "release"},
+    {"done_", "load", "acquire"},
+    {"done_", "store", "release"},
+};
+
 constexpr file_contract contracts[] = {
     {"packed_atomic.hpp", packed_atomic_sites},
     {"seqlock.hpp", seqlock_sites},
@@ -79,6 +108,10 @@ constexpr file_contract contracts[] = {
     // plain.hpp is audited as having NO atomic call sites: it is the
     // intentionally unsynchronized register the race checker must flag.
     {"plain.hpp", {}},
+    // The harness's own collection structures are audited like any
+    // register: their memory orders carry the recorded history's validity.
+    {"event_log.hpp", event_log_sites, "histories"},
+    {"thread_log.hpp", thread_log_sites, "histories"},
 };
 
 struct registry_class {

@@ -44,15 +44,19 @@ struct site_contract {
     std::string_view orders;  ///< comma-separated, e.g. "acquire,relaxed"
 };
 
-/// All declared sites of one register header. A file listed with zero
+/// All declared sites of one audited header. A file listed with zero
 /// sites declares "no atomic call sites at all" (plain.hpp): any atomic
 /// access the lint finds there is a contract violation.
 struct file_contract {
-    std::string_view file;  ///< header name under src/registers/
+    std::string_view file;  ///< bare header name
     std::span<const site_contract> sites;
+    /// Directory under the source root ("src") holding the header. Most
+    /// audited files are registers; the harness's collection structures
+    /// live in histories/.
+    std::string_view dir{"registers"};
 };
 
-/// The audited register headers, one entry per file.
+/// The audited headers, one entry per file.
 [[nodiscard]] std::span<const file_contract> register_contracts() noexcept;
 
 /// Looks up one file's contract; nullptr when the file is not audited.

@@ -258,10 +258,11 @@ std::vector<lint_finding> lint_source(std::string_view file,
     return out;
 }
 
-std::vector<lint_finding> lint_directory(const std::string& dir) {
+std::vector<lint_finding> lint_directory(const std::string& src_root) {
     std::vector<lint_finding> out;
     for (const file_contract& fc : register_contracts()) {
-        const std::string path = dir + "/" + std::string(fc.file);
+        const std::string path =
+            src_root + "/" + std::string(fc.dir) + "/" + std::string(fc.file);
         std::ifstream in(path);
         if (!in) {
             lint_finding f;

@@ -44,9 +44,12 @@ struct lint_finding {
 [[nodiscard]] std::vector<lint_finding> lint_source(std::string_view file,
                                                     std::string_view content);
 
-/// Lints every audited header under `dir` (reads "<dir>/<file>"); a
-/// missing or unreadable header is itself a finding.
-[[nodiscard]] std::vector<lint_finding> lint_directory(const std::string& dir);
+/// Lints every audited header under the source root (reads
+/// "<src_root>/<contract dir>/<file>", e.g. "src/registers/seqlock.hpp"
+/// and "src/histories/thread_log.hpp"); a missing or unreadable header is
+/// itself a finding.
+[[nodiscard]] std::vector<lint_finding> lint_directory(
+    const std::string& src_root);
 
 /// One line per finding, "file:line: message" shaped.
 [[nodiscard]] std::string format_findings(

@@ -194,6 +194,23 @@ void common_flags::add_to(flag_parser& p) {
     p.add_flag("online",
                "run the online atomicity verifier concurrently with the run",
                &online);
+    p.add_flag("streaming",
+               "run the bounded-memory streaming checker during the run "
+               "(the only monitor that may watch a timed run)",
+               &streaming);
+    p.add_unsigned("stream-window",
+                   "streaming checker: events of context kept behind the "
+                   "frontier",
+                   &stream_window);
+    p.add_unsigned("stream-stride",
+                   "streaming checker: events between incremental checks",
+                   &stream_stride);
+    p.add_unsigned("clients",
+                   "timed runs: multiplex this many open-loop paced clients "
+                   "over the worker threads (0 = closed loop)",
+                   &clients);
+    p.add_uint64("client-pace-ns", "per-client inter-arrival time",
+                 &client_pace_ns);
 }
 
 run_spec common_flags::to_spec() const {
@@ -232,6 +249,11 @@ run_spec common_flags::to_spec() const {
         spec.fault.rate_den = den;
     }
     spec.online_monitor = online;
+    spec.streaming_monitor = streaming;
+    spec.stream_window = stream_window;
+    spec.stream_stride = stream_stride;
+    spec.clients = clients;
+    spec.client_pace_ns = client_pace_ns;
 
     if (duration_ms == 0) {
         const registry_entry* e = find_register(register_name);
@@ -242,7 +264,10 @@ run_spec common_flags::to_spec() const {
                            ? collect_mode::gamma
                            : collect_mode::per_thread;
     } else {
-        spec.collect = collect_mode::none;
+        // Timed runs collect nothing -- unless the streaming checker rides
+        // along, which checks and discards a per_thread merge.
+        spec.collect = streaming ? collect_mode::per_thread
+                                 : collect_mode::none;
     }
     return spec;
 }

@@ -103,6 +103,14 @@ struct common_flags {
     std::uint64_t fault_at{0};
     bool online{false};  ///< run the online verifier during the run
 
+    /// Streaming checker (bounded-memory, may watch timed runs) and the
+    /// open-loop client multiplexer.
+    bool streaming{false};
+    unsigned stream_window{4096};
+    unsigned stream_stride{256};
+    unsigned clients{0};
+    std::uint64_t client_pace_ns{1000000};
+
     void add_to(flag_parser& p);
 
     /// A scripted, per-thread-collected run of the named register. Callers

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
 
+#include "histories/thread_log.hpp"
 #include "linearizability/monitor.hpp"
+#include "linearizability/streaming.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 
@@ -25,25 +29,19 @@ using steady = std::chrono::steady_clock;
             .count());
 }
 
-/// One recorded invocation/response with its (global or logical) timestamp.
-struct timed_event {
-    std::uint64_t tick{0};
-    event e{};
-};
-
 /// Executes one processor's script against its port, applying pacing, crash
-/// injection, latency sampling, and (per_thread collection) local event
+/// injection, latency sampling, and (per_thread collection) lock-free ring
 /// recording. Used verbatim by both the thread-per-processor and the seeded
 /// single-thread schedules.
 class script_runner {
 public:
     script_runner(any_port& port, const std::vector<workload_op>& script,
                   processor_id proc, port_role role, const run_spec& spec,
-                  std::uint64_t rng_seed, std::vector<timed_event>* buf,
-                  std::uint64_t* logical_clock, pause_fn pause)
+                  std::uint64_t rng_seed, event_ring* ring, seq_source* seqs,
+                  pause_fn pause)
         : port_(&port), script_(&script), proc_(proc), role_(role),
-          spec_(&spec), gen_(rng_seed), buf_(buf),
-          logical_clock_(logical_clock), pause_(std::move(pause)) {}
+          spec_(&spec), gen_(rng_seed), ring_(ring), seqs_(seqs),
+          pause_(std::move(pause)) {}
 
     [[nodiscard]] bool exhausted() const noexcept {
         return cursor_ >= script_->size();
@@ -62,12 +60,36 @@ public:
         return true;
     }
 
+    /// Runs the next scripted op on behalf of an open-loop client whose
+    /// request became due at `due_ns`: the recorded latency spans due ->
+    /// completion, so queueing delay at saturation is charged to the op
+    /// (no coordinated omission). Every paced op is recorded, ignoring
+    /// latency_sample_every. False when the script is exhausted.
+    bool step_paced(std::uint64_t due_ns) {
+        if (exhausted()) return false;
+        if (port_->crashed()) {
+            cursor_ = script_->size();
+            return false;
+        }
+        const workload_op& op = (*script_)[cursor_++];
+        ++op_counter_;
+        if (ring_ != nullptr) ring_->reserve(2);
+        if (op.kind == op_kind::write) {
+            do_write(op.value);
+        } else {
+            do_read();
+        }
+        const std::uint64_t end = now_ns();
+        hist_.record(end > due_ns ? end - due_ns : 0);
+        return true;
+    }
+
     /// Restarts the script (timed runs cycle it).
     void rewind() noexcept { cursor_ = 0; }
 
     void reset_counters() noexcept {
         reads_ = writes_ = crashes_ = 0;
-        samples_.clear();
+        hist_.clear();
     }
 
     [[nodiscard]] processor_id processor() const noexcept { return proc_; }
@@ -75,8 +97,8 @@ public:
     [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
     [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
     [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
-    [[nodiscard]] std::vector<std::uint64_t>& samples() noexcept {
-        return samples_;
+    [[nodiscard]] const latency_histogram& hist() const noexcept {
+        return hist_;
     }
 
 private:
@@ -85,16 +107,27 @@ private:
             spec_->latency_sample_every != 0 &&
             op_counter_ % spec_->latency_sample_every == 0;
         ++op_counter_;
+        // Backpressure lands HERE, between operations, never inside one
+        // (see event_ring::reserve).
+        if (ring_ != nullptr) ring_->reserve(2);
         const std::uint64_t t0 = sample ? now_ns() : 0;
         if (op.kind == op_kind::write) {
             do_write(op.value);
         } else {
             do_read();
         }
-        if (sample) samples_.push_back(now_ns() - t0);
+        if (sample) hist_.record(now_ns() - t0);
     }
 
     void do_write(value_t v) {
+        // Timed runs cycle the script, which would repeat the scripted
+        // write values -- and every checker requires globally unique
+        // writes. Substitute a fresh unique value per write instead (the
+        // scripted value only matters for scripted reproducibility).
+        if (spec_->duration_ms > 0) {
+            v = unique_value(proc_,
+                             static_cast<std::uint32_t>(fresh_write_++));
+        }
         record(op_kind::write, /*response=*/false, v);
         const pacing& pace = spec_->pace;
         bool crashed = false;
@@ -140,32 +173,27 @@ private:
         if (!port_->crashed()) record(op_kind::read, /*response=*/true, out);
     }
 
+    /// Records one sim event into this thread's ring: a stamp drawn from
+    /// the shared relaxed counter (the only cross-thread write on the
+    /// path), then plain stores plus one release publish. The stamp is
+    /// drawn inside the operation's invocation..response window, so the
+    /// fetch_add order is a legal serialization and the seq merge
+    /// reconstructs a valid external schedule.
     void record(op_kind kind, bool response, value_t v) {
-        if (buf_ == nullptr) return;
-        timed_event te;
-        te.tick = next_tick();
-        te.e.processor = proc_;
-        te.e.op = record_op_ - (response ? 1 : 0);
+        if (ring_ == nullptr) return;
+        event e;
+        e.processor = proc_;
+        e.op = record_op_ - (response ? 1 : 0);
         if (!response) ++record_op_;
-        te.e.value = v;
+        e.value = v;
         if (kind == op_kind::write) {
-            te.e.kind = response ? event_kind::sim_respond_write
-                                 : event_kind::sim_invoke_write;
+            e.kind = response ? event_kind::sim_respond_write
+                              : event_kind::sim_invoke_write;
         } else {
-            te.e.kind = response ? event_kind::sim_respond_read
-                                 : event_kind::sim_invoke_read;
+            e.kind = response ? event_kind::sim_respond_read
+                              : event_kind::sim_invoke_read;
         }
-        buf_->push_back(te);
-    }
-
-    [[nodiscard]] std::uint64_t next_tick() {
-        if (logical_clock_ != nullptr) return (*logical_clock_)++;
-        // Strictly increasing per thread so same-thread events never tie
-        // (a tie would make sequential ops look overlapping after the merge).
-        std::uint64_t t = now_ns();
-        if (t <= last_tick_) t = last_tick_ + 1;
-        last_tick_ = t;
-        return t;
+        ring_->push(seqs_->draw(), e);
     }
 
     any_port* port_;
@@ -174,33 +202,37 @@ private:
     port_role role_;
     const run_spec* spec_;
     rng gen_;
-    std::vector<timed_event>* buf_;
-    std::uint64_t* logical_clock_;
+    event_ring* ring_;
+    seq_source* seqs_;
     pause_fn pause_;
 
     std::size_t cursor_{0};
     std::uint64_t op_counter_{0};
+    std::uint64_t fresh_write_{0};
     op_index record_op_{0};
     unsigned next_crash_point_{0};
-    std::uint64_t last_tick_{0};
     std::uint64_t reads_{0};
     std::uint64_t writes_{0};
     std::uint64_t crashes_{0};
-    std::vector<std::uint64_t> samples_;
+    latency_histogram hist_;
 };
 
-void fill_percentiles(thread_result& tr, std::vector<std::uint64_t>& ns) {
-    tr.samples = ns.size();
-    if (ns.empty()) return;
-    std::sort(ns.begin(), ns.end());
-    const auto at = [&](double q) {
-        const auto i = static_cast<std::size_t>(
-            q * static_cast<double>(ns.size() - 1));
-        return static_cast<double>(ns[i]) / 1000.0;
-    };
-    tr.p50_us = at(0.50);
-    tr.p99_us = at(0.99);
-    tr.max_us = static_cast<double>(ns.back()) / 1000.0;
+void fill_latency(thread_result& tr, const latency_histogram& h) {
+    tr.samples = h.count();
+    if (tr.samples == 0) return;
+    tr.p50_us = h.quantile(0.50) / 1000.0;
+    tr.p99_us = h.quantile(0.99) / 1000.0;
+    tr.p999_us = h.quantile(0.999) / 1000.0;
+    tr.max_us = static_cast<double>(h.max_ns()) / 1000.0;
+}
+
+void fill_latency(latency_stats& ls, const latency_histogram& h) {
+    ls.samples = h.count();
+    if (ls.samples == 0) return;
+    ls.p50_us = h.quantile(0.50) / 1000.0;
+    ls.p99_us = h.quantile(0.99) / 1000.0;
+    ls.p999_us = h.quantile(0.999) / 1000.0;
+    ls.max_us = static_cast<double>(h.max_ns()) / 1000.0;
 }
 
 [[nodiscard]] std::uint64_t per_proc_seed(std::uint64_t seed, std::size_t p) {
@@ -243,11 +275,15 @@ run_result run(const run_spec& spec) {
                     " records real accesses into a shared gamma log; run it "
                     "with collect=gamma");
     }
-    if (spec.duration_ms > 0 && spec.collect != collect_mode::none) {
-        return fail("timed runs produce unbounded histories; use scripted "
-                    "runs (duration_ms=0) when collecting events");
+    const bool timed = spec.duration_ms > 0;
+    if (timed && spec.collect != collect_mode::none &&
+        !(spec.collect == collect_mode::per_thread &&
+          spec.streaming_monitor)) {
+        return fail("timed runs produce unbounded histories; collect on a "
+                    "timed run only with per_thread + streaming_monitor "
+                    "(events are checked and discarded, never retained)");
     }
-    if (spec.duration_ms > 0 && spec.schedule == schedule_mode::seeded) {
+    if (timed && spec.schedule == schedule_mode::seeded) {
         return fail("the seeded schedule is scripted-only (duration_ms=0)");
     }
     if (spec.fault.active() && entry->info.family != "faulty") {
@@ -257,6 +293,24 @@ run_result run(const run_spec& spec) {
     if (spec.online_monitor && spec.collect != collect_mode::gamma) {
         return fail("the online monitor polls the shared gamma log; run "
                     "with collect=gamma");
+    }
+    if (spec.streaming_monitor && spec.collect == collect_mode::none) {
+        return fail("the streaming checker consumes recorded events; run "
+                    "with collect=gamma or collect=per_thread");
+    }
+    if (spec.online_monitor && spec.streaming_monitor) {
+        return fail("pick one monitor: online (post-hoc prefix polling) or "
+                    "streaming (bounded-memory)");
+    }
+    if (spec.clients > 0 &&
+        (!timed || spec.schedule != schedule_mode::threads)) {
+        return fail("simulated open-loop clients need a timed threads-mode "
+                    "run (duration_ms > 0)");
+    }
+    if (spec.clients > 0 &&
+        spec.clients < spec.load.writers + spec.load.readers) {
+        return fail("need at least one client per worker thread (an idle "
+                    "worker's empty ring would stall the live merge)");
     }
 
     const workload wl = make_workload(spec.load, spec.seed);
@@ -290,16 +344,29 @@ run_result run(const run_spec& spec) {
     }
 
     const bool per_thread = spec.collect == collect_mode::per_thread;
-    std::vector<std::vector<timed_event>> buffers(n_procs);
+    // Scripted rings cover the whole script (<= 2 events per op), so push
+    // never blocks and the ring is a flat slab. Timed streaming rings are
+    // bounded; a full ring backpressures its producer (counted in stalls).
+    // Timed streaming rings are kept SMALL on purpose: ring slack is
+    // exactly how far the merged stream can run past one preempted
+    // mid-operation producer, and every event streamed past an open op
+    // stays retained in the checker (the quiescent cut cannot pass it).
+    // Big rings -> huge retained windows -> superlinear checkpoint cost.
+    seq_source seqs;
+    std::vector<std::unique_ptr<event_ring>> rings;
     if (per_thread) {
+        rings.reserve(n_procs);
         for (std::size_t p = 0; p < n_procs; ++p) {
-            buffers[p].reserve(wl.scripts[p].size() * 2);
+            rings.push_back(std::make_unique<event_ring>(
+                timed ? std::size_t{1} << 10
+                      : wl.scripts[p].size() * 2 + 8));
         }
     }
 
     run_result result;
     result.info = entry->info;
     result.threads.resize(n_procs);
+    std::vector<latency_histogram> hists(n_procs);
 
     // The online watcher polls growing prefixes of the gamma log while the
     // run appends to it. Reads-only, so even the seeded single-thread
@@ -320,11 +387,62 @@ run_result run(const run_spec& spec) {
         });
     }
 
+    // The streaming checker rides alongside either collector. collect=gamma:
+    // a tail thread chases the shared log one published event at a time.
+    // collect=per_thread: the merge thread below feeds it the live seq-order
+    // merge. Ingest is sticky on violation, so the tails just drain.
+    streaming_config scfg;
+    scfg.window = spec.stream_window;
+    scfg.stride = spec.stream_stride;
+    streaming_checker stream_chk(spec.initial, scfg);
+    std::thread stream_tail;
+    if (spec.streaming_monitor && spec.collect == collect_mode::gamma) {
+        stream_tail = std::thread([&] {
+            std::size_t checked = 0;
+            while (!run_done.load(std::memory_order_acquire)) {
+                const std::size_t avail = log.size();
+                if (checked == avail) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                while (checked < avail) stream_chk.ingest(log.read_at(checked++));
+            }
+            const std::size_t avail = log.size();
+            while (checked < avail) stream_chk.ingest(log.read_at(checked++));
+            stream_chk.finish();
+        });
+    }
+
+    // per_thread collection. Timed runs need a LIVE consumer: rings are
+    // bounded, so one merge thread runs the k-way seq merge concurrently,
+    // feeding the streaming checker and discarding (backpressure throttles
+    // the producers to the checker's pace). Scripted runs record at pure
+    // ring-push speed instead -- the rings cover the whole script, so the
+    // merge runs AFTER the workers finish, off the measured path. Merged
+    // order is a pure function of seq stamps either way, so consumer
+    // timing never changes the history.
+    const bool retain_merge = per_thread && !timed;
+    const auto drain_merge = [&] {
+        std::vector<event_ring*> rp;
+        rp.reserve(rings.size());
+        for (const auto& r : rings) rp.push_back(r.get());
+        ring_merger merger(rp);
+        stamped_event se;
+        while (merger.next(&se)) {
+            if (retain_merge) result.events.push_back(se.e);
+            if (spec.streaming_monitor) stream_chk.ingest(se.e);
+        }
+        if (spec.streaming_monitor) stream_chk.finish();
+    };
+    std::thread merge_thread;
+    if (per_thread && timed) merge_thread = std::thread(drain_merge);
+
     if (spec.schedule == schedule_mode::seeded) {
         // Deterministic single-thread interleaving at op granularity. A
         // paced operation's pause runs a bounded burst of OTHER processors'
         // ops, so the recorded gamma contains real overlap -- reproducibly.
-        std::uint64_t logical_clock = 0;
+        // Seq stamps are drawn by this one thread in schedule order, so the
+        // merged per_thread history is byte-identical across runs.
         std::vector<script_runner> runners;
         runners.reserve(n_procs);
         bool in_pause = false;
@@ -353,8 +471,8 @@ run_result run(const run_spec& spec) {
                 *ports[p], wl.scripts[p], static_cast<processor_id>(p),
                 p < wl.writers ? port_role::writer : port_role::reader, spec,
                 per_proc_seed(spec.seed, p),
-                per_thread ? &buffers[p] : nullptr, &logical_clock,
-                pause_burst);
+                per_thread ? rings[p].get() : nullptr,
+                per_thread ? &seqs : nullptr, pause_burst);
         }
         const std::uint64_t t0 = now_ns();
         for (;;) {
@@ -368,6 +486,9 @@ run_result run(const run_spec& spec) {
             current = n_procs;
         }
         result.measured_s = static_cast<double>(now_ns() - t0) / 1e9;
+        if (per_thread) {
+            for (auto& r : rings) r->finish();
+        }
         for (std::size_t p = 0; p < n_procs; ++p) {
             thread_result& tr = result.threads[p];
             tr.processor = static_cast<processor_id>(p);
@@ -375,13 +496,13 @@ run_result run(const run_spec& spec) {
             tr.reads = runners[p].reads();
             tr.writes = runners[p].writes();
             result.crashes_injected += runners[p].crashes();
-            fill_percentiles(tr, runners[p].samples());
+            fill_latency(tr, runners[p].hist());
+            hists[p].merge(runners[p].hist());
         }
     } else {
         // One OS thread per processor. phase: 0 = warmup, 1 = measured
         // epoch, 2 = stop. Scripted runs (duration_ms == 0) skip warmup and
         // run each script exactly once.
-        const bool timed = spec.duration_ms > 0;
         start_gate gate;
         std::atomic<int> phase{timed && spec.warmup_ms > 0 ? 0 : 1};
         std::atomic<std::uint64_t> crash_total{0};
@@ -393,28 +514,87 @@ run_result run(const run_spec& spec) {
                     *ports[p], wl.scripts[p], static_cast<processor_id>(p),
                     p < wl.writers ? port_role::writer : port_role::reader,
                     spec, per_proc_seed(spec.seed, p),
-                    per_thread ? &buffers[p] : nullptr, nullptr,
+                    per_thread ? rings[p].get() : nullptr,
+                    per_thread ? &seqs : nullptr,
                     [yields = spec.pace.pause_yields] {
                         for (unsigned i = 0; i < yields; ++i) {
                             std::this_thread::yield();
                         }
                     });
+                // Open-loop client multiplexing: this worker owns an even
+                // share of spec.clients, each with its own due-time pacer.
+                // The next op run is the earliest-due client's; latency is
+                // measured from that due time (queueing included).
+                auto paced_loop = [&](auto&& keep_going) {
+                    const std::size_t total = spec.clients;
+                    const std::size_t lo = p * total / n_procs;
+                    const std::size_t hi = (p + 1) * total / n_procs;
+                    const std::size_t nc = hi - lo;
+                    if (nc == 0) return;  // more threads than clients
+                    std::vector<std::uint64_t> due(nc);
+                    const std::uint64_t start = now_ns();
+                    for (std::size_t i = 0; i < nc; ++i) {
+                        // Stagger arrivals across one pace interval so the
+                        // clients don't fire in lockstep.
+                        due[i] = start + i * spec.client_pace_ns / nc;
+                    }
+                    while (keep_going()) {
+                        std::size_t best = 0;
+                        for (std::size_t i = 1; i < nc; ++i) {
+                            if (due[i] < due[best]) best = i;
+                        }
+                        const std::uint64_t t = now_ns();
+                        if (due[best] > t) {
+                            if (due[best] - t > 100000) {
+                                std::this_thread::sleep_for(
+                                    std::chrono::microseconds(20));
+                            } else {
+                                std::this_thread::yield();
+                            }
+                            continue;
+                        }
+                        if (!runner.step_paced(due[best])) {
+                            runner.rewind();
+                            continue;
+                        }
+                        due[best] += spec.client_pace_ns;
+                    }
+                };
                 gate.wait();
                 if (timed) {
-                    while (phase.load(std::memory_order_acquire) == 0) {
-                        if (!runner.step()) runner.rewind();
+                    if (spec.clients > 0) {
+                        paced_loop([&] {
+                            return phase.load(std::memory_order_acquire) == 0;
+                        });
+                        while (phase.load(std::memory_order_acquire) == 0) {
+                            std::this_thread::yield();
+                        }
+                    } else {
+                        while (phase.load(std::memory_order_acquire) == 0) {
+                            if (!runner.step()) runner.rewind();
+                        }
                     }
                     runner.reset_counters();
                 }
                 const std::uint64_t t0 = now_ns();
                 if (timed) {
-                    while (phase.load(std::memory_order_acquire) == 1) {
-                        if (!runner.step()) runner.rewind();
+                    if (spec.clients > 0) {
+                        paced_loop([&] {
+                            return phase.load(std::memory_order_acquire) == 1;
+                        });
+                        while (phase.load(std::memory_order_acquire) == 1) {
+                            std::this_thread::yield();
+                        }
+                    } else {
+                        while (phase.load(std::memory_order_acquire) == 1) {
+                            if (!runner.step()) runner.rewind();
+                        }
                     }
                 } else {
                     while (runner.step()) {}
                 }
                 const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+                if (per_thread) rings[p]->finish();
                 thread_result& tr = result.threads[p];
                 tr.processor = static_cast<processor_id>(p);
                 tr.role = runner.role();
@@ -424,7 +604,8 @@ run_result run(const run_spec& spec) {
                     secs > 0
                         ? static_cast<double>(tr.reads + tr.writes) / secs
                         : 0;
-                fill_percentiles(tr, runner.samples());
+                fill_latency(tr, runner.hist());
+                hists[p].merge(runner.hist());
                 crash_total.fetch_add(runner.crashes(),
                                       std::memory_order_relaxed);
             });
@@ -448,37 +629,25 @@ run_result run(const run_spec& spec) {
         result.crashes_injected = crash_total.load(std::memory_order_relaxed);
     }
 
+    if (merge_thread.joinable()) merge_thread.join();
+    if (per_thread && !timed) drain_merge();
     run_done.store(true, std::memory_order_release);
     if (watcher.joinable()) watcher.join();
+    if (stream_tail.joinable()) stream_tail.join();
 
     for (const thread_result& tr : result.threads) {
         result.total_reads += tr.reads;
         result.total_writes += tr.writes;
     }
+    {
+        latency_histogram total;
+        for (const latency_histogram& h : hists) total.merge(h);
+        fill_latency(result.latency, total);
+    }
 
     if (spec.collect == collect_mode::gamma) {
         result.events = log.snapshot();
         result.log_overflowed = log.overflowed();
-    } else if (per_thread) {
-        std::vector<timed_event> all;
-        std::size_t total = 0;
-        for (const auto& b : buffers) total += b.size();
-        all.reserve(total);
-        for (auto& b : buffers) {
-            all.insert(all.end(), b.begin(), b.end());
-        }
-        // Invocations sort before responses at equal ticks: ties can only
-        // WIDEN operation intervals, which relaxes precedence constraints
-        // and never manufactures a false violation.
-        std::sort(all.begin(), all.end(),
-                  [](const timed_event& a, const timed_event& b) {
-                      const int ra = is_response(a.e.kind) ? 1 : 0;
-                      const int rb = is_response(b.e.kind) ? 1 : 0;
-                      return std::tie(a.tick, ra, a.e.processor, a.e.op) <
-                             std::tie(b.tick, rb, b.e.processor, b.e.op);
-                  });
-        result.events.reserve(all.size());
-        for (const timed_event& te : all) result.events.push_back(te.e);
     }
 
     result.faults_injected = reg->faults();
@@ -505,6 +674,33 @@ run_result run(const run_spec& spec) {
                      i < od.detection_prefix && i < result.events.size();
                      ++i) {
                     if (is_response(result.events[i].kind)) ++od.latency_ops;
+                }
+            }
+        }
+    }
+    if (spec.streaming_monitor) {
+        stream_outcome& so = result.stream;
+        so.ran = true;
+        const streaming_stats& ss = stream_chk.stats();
+        so.events = ss.events;
+        so.ops_completed = ss.ops_completed;
+        so.ops_retired = ss.ops_retired;
+        so.checkpoints = ss.checkpoints;
+        so.retained_peak = ss.peak_retained_ops;
+        for (const auto& r : rings) so.producer_stalls += r->stalls();
+        if (stream_chk.violation_found()) {
+            so.violation = true;
+            so.detection_pos = stream_chk.detection_pos();
+            so.diagnosis = stream_chk.diagnosis();
+            const event_pos inj = result.faults_injected.first_injection;
+            if (inj != no_event) {
+                // detection_pos and result.events index the same stream
+                // (the gamma log, or the retained seq merge), so completed
+                // ops between injection and detection are countable.
+                const std::size_t hi = std::min<std::size_t>(
+                    so.detection_pos, result.events.size());
+                for (std::size_t i = inj; i < hi; ++i) {
+                    if (is_response(result.events[i].kind)) ++so.latency_ops;
                 }
             }
         }
@@ -557,7 +753,7 @@ latency_result measure_latency(const std::string& register_name,
     value_t probe;
     if (w->read_cached(probe)) {
         res.cached_read_ns = bench([&](std::uint64_t) {
-            value_t out;
+            value_t out = 0;
             (void)w->read_cached(out);
             sink += out;
         });
@@ -593,8 +789,7 @@ stall_result measure_stall(const stall_spec& spec) {
     start_gate gate;
     stop_flag stop;
     std::atomic<bool> stall_supported{true};
-    std::vector<std::uint64_t> samples;
-    samples.reserve(1u << 20);
+    latency_histogram hist;
 
     std::thread stall_thread([&] {
         gate.wait();
@@ -610,9 +805,9 @@ stall_result measure_stall(const stall_spec& spec) {
         while (!stop.stop_requested()) {
             const std::uint64_t t0 = now_ns();
             sink += sampler->read();
-            samples.push_back(now_ns() - t0);
+            hist.record(now_ns() - t0);
         }
-        if (sink == 0x7f7f7f7f7f7f7f7fLL) samples.push_back(0);
+        if (sink == 0x7f7f7f7f7f7f7f7fLL) hist.record(0);
     });
     gate.open();
     std::this_thread::sleep_for(std::chrono::milliseconds(spec.run_ms));
@@ -624,12 +819,11 @@ stall_result measure_stall(const stall_spec& spec) {
         res.error = spec.register_name + " has nothing to stall for role";
         return res;
     }
-    thread_result tr;
-    fill_percentiles(tr, samples);
-    res.reads = tr.samples;
-    res.p50_us = tr.p50_us;
-    res.p99_us = tr.p99_us;
-    res.max_us = tr.max_us;
+    res.reads = hist.count();
+    res.p50_us = hist.quantile(0.50) / 1000.0;
+    res.p99_us = hist.quantile(0.99) / 1000.0;
+    res.p999_us = hist.quantile(0.999) / 1000.0;
+    res.max_us = static_cast<double>(hist.max_ns()) / 1000.0;
     res.ok = true;
     return res;
 }

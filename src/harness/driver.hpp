@@ -20,11 +20,19 @@
 //     invocations/responses into one shared MPMC event_log; required for
 //     the recording substrate, whose REAL accesses must interleave with
 //     the simulated events in one total order;
-//   * per_thread -- each thread timestamps operations locally
-//     (steady_clock) with zero shared state; the driver k-way merges the
-//     buffers afterwards. CLOCK_MONOTONIC is globally monotone, so the
-//     merged order is a legal external schedule (ties only ever RELAX
-//     precedence constraints: invocations sort before responses).
+//   * per_thread -- each worker records into its own fixed-capacity
+//     lock-free ring (histories/thread_log.hpp), stamping every record
+//     from one shared relaxed fetch_add counter -- the only shared write
+//     on the record path. The driver merges the rings into gamma order by
+//     ascending stamp; under the seeded schedule the merge is
+//     byte-identical across runs.
+//
+// A run can additionally carry the bounded-memory STREAMING checker
+// (linearizability/streaming.hpp) alongside either collector: it tails
+// the shared log (gamma) or consumes the live ring merge (per_thread),
+// verifying the run while it happens in O(window) memory. That is the
+// only configuration in which a TIMED run may collect: per_thread +
+// streaming_monitor checks and discards events instead of retaining them.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +48,7 @@ namespace bloom87::harness {
 enum class collect_mode : std::uint8_t {
     none,        ///< throughput runs: nothing recorded
     gamma,       ///< one shared event_log (register/adapter self-logs)
-    per_thread,  ///< contention-free thread-local buffers, merged post-run
+    per_thread,  ///< lock-free per-thread rings, merged by sequence stamp
 };
 
 /// How operations are interleaved.
@@ -100,6 +108,25 @@ struct run_spec {
     bool online_monitor{false};
     /// The verifier re-checks after every this-many new events.
     unsigned monitor_stride{64};
+
+    /// Run the bounded-memory STREAMING checker concurrently with the run
+    /// and fill run_result::stream. collect=gamma tails the shared log;
+    /// collect=per_thread consumes the live ring merge. The only monitor
+    /// that may watch a TIMED run (with collect=per_thread: events are
+    /// checked and discarded, never retained).
+    bool streaming_monitor{false};
+    /// Streaming checker knobs: events of context kept behind the
+    /// frontier, and events ingested between incremental checks.
+    unsigned stream_window{4096};
+    unsigned stream_stride{256};
+
+    /// Timed threads-mode runs only: multiplex this many simulated
+    /// open-loop clients over the worker threads (0 = classic closed
+    /// loop). Each client issues one scripted op every client_pace_ns;
+    /// latency is measured from the client's DUE time, so queueing delay
+    /// at saturation is included (no coordinated omission).
+    unsigned clients{0};
+    std::uint64_t client_pace_ns{1000000};
 };
 
 /// Per-processor outcome.
@@ -109,12 +136,42 @@ struct thread_result {
     std::uint64_t reads{0};
     std::uint64_t writes{0};
     double ops_per_sec{0};
-    /// Latency percentiles over the sampled ops, in microseconds; zero when
-    /// sampling was off.
+    /// Latency percentiles over the sampled ops, in microseconds; zero
+    /// when sampling was off. Quantiles come from a log-scale histogram
+    /// (util/histogram.hpp, ~6% resolution); max_us is exact.
     double p50_us{0};
     double p99_us{0};
+    double p999_us{0};
     double max_us{0};
     std::uint64_t samples{0};
+};
+
+/// Latency distribution merged across every worker thread.
+struct latency_stats {
+    double p50_us{0};
+    double p99_us{0};
+    double p999_us{0};
+    double max_us{0};
+    std::uint64_t samples{0};
+};
+
+/// What the streaming checker saw during a monitored run
+/// (run_spec::streaming_monitor). `latency_ops` mirrors the online
+/// verifier's robustness metric: completed operations between the first
+/// injected fault and the stream position where the violation was
+/// flagged.
+struct stream_outcome {
+    bool ran{false};
+    std::uint64_t events{0};          ///< gamma events ingested
+    std::uint64_t ops_completed{0};
+    std::uint64_t ops_retired{0};
+    std::uint64_t checkpoints{0};
+    std::uint64_t retained_peak{0};   ///< bounded-memory witness
+    std::uint64_t producer_stalls{0}; ///< ring backpressure events
+    bool violation{false};
+    std::uint64_t detection_pos{0};
+    std::uint64_t latency_ops{0};
+    std::string diagnosis;
 };
 
 /// What the online verifier saw during a monitored run (run_spec::
@@ -159,9 +216,14 @@ struct run_result {
     bool log_overflowed{false};
 
     /// Substrate fault injection counters (faulty/ registers; zero
-    /// elsewhere) and the online verifier's findings.
+    /// elsewhere) and the monitors' findings.
     fault_counts faults_injected{};
     online_detection online{};
+    stream_outcome stream{};
+
+    /// Merged latency distribution across all threads (empty when
+    /// sampling was off and no clients were configured).
+    latency_stats latency{};
 };
 
 /// Runs one spec. Validates the spec against the registry entry (writer
@@ -209,6 +271,7 @@ struct stall_result {
     std::uint64_t reads{0};  ///< reader ops completed during the run
     double p50_us{0};
     double p99_us{0};
+    double p999_us{0};
     double max_us{0};
 };
 

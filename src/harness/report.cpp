@@ -25,7 +25,7 @@ namespace {
 report_writer::report_writer(std::ostream& os, const std::string& bench)
     : os_(os), w_(os) {
     w_.begin_object();
-    w_.field("schema", "bloom87-harness-v3");
+    w_.field("schema", "bloom87-harness-v4");
     w_.field("bench", bench);
     w_.key("environment").begin_object();
     w_.field("hardware_concurrency", std::thread::hardware_concurrency());
@@ -65,6 +65,14 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
     w_.field("schedule", schedule_name(spec.schedule));
     w_.field("collect", collect_name(spec.collect));
     w_.field("cached_writer_reads", spec.cached_writer_reads);
+    if (spec.streaming_monitor) {
+        w_.field("stream_window", spec.stream_window);
+        w_.field("stream_stride", spec.stream_stride);
+    }
+    if (spec.clients > 0) {
+        w_.field("clients", spec.clients);
+        w_.field("client_pace_ns", spec.client_pace_ns);
+    }
     w_.end_object();
 
     w_.key("totals").begin_object();
@@ -78,6 +86,17 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
     w_.field("crashes_injected", result.crashes_injected);
     w_.field("events", static_cast<std::uint64_t>(result.events.size()));
     w_.field("log_overflowed", result.log_overflowed);
+    // v4: merged latency percentiles across every worker (histogram-based,
+    // ~6% resolution; max is exact), present when anything was sampled.
+    if (result.latency.samples > 0) {
+        w_.key("latency").begin_object();
+        w_.field("p50_us", result.latency.p50_us);
+        w_.field("p99_us", result.latency.p99_us);
+        w_.field("p999_us", result.latency.p999_us);
+        w_.field("max_us", result.latency.max_us);
+        w_.field("samples", result.latency.samples);
+        w_.end_object();
+    }
     w_.end_object();
 
     w_.key("threads").begin_array();
@@ -92,6 +111,7 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
         if (tr.samples > 0) {
             w_.field("p50_us", tr.p50_us);
             w_.field("p99_us", tr.p99_us);
+            w_.field("p999_us", tr.p999_us);
             w_.field("max_us", tr.max_us);
             w_.field("samples", tr.samples);
         }
@@ -199,6 +219,25 @@ void report_writer::add_run(const run_spec& spec, const run_result& result,
                 w_.field("diagnosis", od.diagnosis);
             }
             w_.end_object();
+        }
+        w_.end_object();
+    }
+
+    // v4: what the streaming checker saw, on streaming-monitored runs only.
+    if (result.stream.ran) {
+        const stream_outcome& so = result.stream;
+        w_.key("stream").begin_object();
+        w_.field("events", so.events);
+        w_.field("ops_completed", so.ops_completed);
+        w_.field("ops_retired", so.ops_retired);
+        w_.field("checkpoints", so.checkpoints);
+        w_.field("retained_peak", so.retained_peak);
+        w_.field("producer_stalls", so.producer_stalls);
+        w_.field("violation", so.violation);
+        if (so.violation) {
+            w_.field("detection_pos", so.detection_pos);
+            w_.field("latency_ops", so.latency_ops);
+            w_.field("diagnosis", so.diagnosis);
         }
         w_.end_object();
     }

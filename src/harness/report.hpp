@@ -1,21 +1,24 @@
-// bloom87: the one JSON report schema ("bloom87-harness-v3").
+// bloom87: the one JSON report schema ("bloom87-harness-v4").
 //
 // Every bench/example binary emits the same machine-readable shape so
 // cross-PR tracking tooling parses one format:
 //
 //   {
-//     "schema": "bloom87-harness-v3",
+//     "schema": "bloom87-harness-v4",
 //     "bench": "<binary name>",
 //     "environment": { "hardware_concurrency": N, "compiler": "...",
 //                      "build": "release|debug" },
 //     "runs": [ {
 //        "register": "...",
 //        "config":   { writers, readers, ops, seed, duration_ms,
-//                      schedule, collect },
+//                      schedule, collect, stream_window, stream_stride,
+//                      clients, client_pace_ns },
 //        "totals":   { reads, writes, ops_per_sec, measured_s,
-//                      crashes_injected, events },
+//                      crashes_injected, events,
+//                      latency: { p50_us, p99_us, p999_us, max_us,
+//                                 samples } },
 //        "threads":  [ { processor, role, reads, writes, ops_per_sec,
-//                        p50_us, p99_us, max_us, samples } ],
+//                        p50_us, p99_us, p999_us, max_us, samples } ],
 //        "checkers": [ { checker, ran, pass, skip_reason, diagnosis,
 //                        millis, operations, impotent_writes } ],
 //        "faults":   { class, rate_num, rate_den, fault_seed, at,
@@ -26,6 +29,9 @@
 //                      culprit_op, diagnosis } },
 //        "analysis": { checker: "race", ran, skip_reason | pass, races,
 //                      accesses_checked, contract, diagnosis, millis },
+//        "stream":   { events, ops_completed, ops_retired, checkpoints,
+//                      retained_peak, producer_stalls, violation,
+//                      detection_pos, latency_ops, diagnosis },
 //        ...bench-specific extras... } ],
 //     "tables": [ { "name": "...", "header": [...], "rows": [[...]] } ]
 //   }
@@ -45,6 +51,14 @@
 // happens-before detector's verdict and statistics; when it was skipped it
 // carries ran:false plus the explicit skip_reason (skipped work always says
 // why). The race checker also appears in `checkers` like any other kind.
+//
+// v3 -> v4: `totals` gained the optional merged `latency` percentile block
+// (histogram-derived p50/p99/p999 plus the exact max), `threads` entries
+// gained p999_us, `config` names the streaming-checker and open-loop-client
+// knobs when set, and runs gained the optional `stream` block carrying the
+// bounded-memory streaming checker's outcome (present exactly when
+// run_spec::streaming_monitor was on). Existing v3 consumers need only
+// accept the new schema string and ignore the extra keys.
 #pragma once
 
 #include <functional>

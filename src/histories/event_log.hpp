@@ -79,6 +79,15 @@ public:
         return out;
     }
 
+    /// Copies out one published event by position (`pos` < size()),
+    /// spinning briefly if its publish is still in flight. The streaming
+    /// checker tails a live log one event at a time with this instead of
+    /// re-copying ever-growing prefixes.
+    [[nodiscard]] event read_at(event_pos pos) const noexcept {
+        while (!ready_[pos].value.load(std::memory_order_acquire)) {}
+        return slots_[pos];
+    }
+
     /// Copies out the first `n` events (clamped to size()), spinning briefly
     /// on any slot still mid-publish. Safe to call WHILE writers append --
     /// the prefix is a legal gamma prefix because slot index is gamma
